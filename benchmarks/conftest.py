@@ -1,0 +1,21 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper and prints
+the reproduced rows/series next to the paper's reported values, then
+asserts the qualitative *shape* (who wins, by roughly what factor, where
+crossovers fall).  Absolute numbers are not expected to match: the
+substrate is a simulator, not the authors' testbed (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def row(label: str, *cells: object) -> None:
+    print(f"  {label:34s} " + "  ".join(f"{c!s:>12s}" for c in cells))

@@ -1,0 +1,123 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation switches off (or fixes) one InSURE mechanism and shows the
+direction of the effect the paper attributes to it.
+"""
+
+from conftest import banner, row
+
+from repro.core.energy_manager import InsureParams
+from repro.core.spatial import SpatialParams
+from repro.core.system import build_system
+from repro.core.temporal import TemporalParams
+from repro.experiments.charging import charging_time_hours
+from repro.solar.traces import make_day_trace
+from repro.workloads import VideoSurveillance
+
+
+def day_run(insure_params=None, seed=21, mean_w=500.0):
+    trace = make_day_trace("cloudy", dt_seconds=5.0, seed=seed,
+                           target_mean_w=mean_w)
+    system = build_system(trace, VideoSurveillance(), controller="insure",
+                          seed=seed, initial_soc=0.55,
+                          insure_params=insure_params)
+    return system.run()
+
+
+def test_ablation_adaptive_batch_sizing(benchmark):
+    """Figure 10's N = P_G/P_PC versus always-batch and always-single."""
+
+    def run():
+        return {
+            "adaptive-would-pick-1 @150W": charging_time_hours(1, 150.0),
+            "fixed-all @150W": charging_time_hours(3, 150.0),
+            "adaptive-would-pick-3 @800W": charging_time_hours(3, 800.0),
+            "fixed-one @800W": charging_time_hours(1, 800.0),
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("Ablation — adaptive charge batch sizing (hours to 90 %)")
+    for name, hours in times.items():
+        row(name, f"{hours:.2f} h")
+    # The budget-matched batch size wins at both operating points.
+    assert times["adaptive-would-pick-1 @150W"] < times["fixed-all @150W"]
+    assert times["adaptive-would-pick-3 @800W"] < times["fixed-one @800W"]
+
+
+def test_ablation_discharge_capping(benchmark):
+    """TPM discharge capping trades throughput for buffer life."""
+
+    def run():
+        capped = day_run()
+        uncapped = day_run(InsureParams(
+            temporal=TemporalParams(cap_c_rate=2.0)  # cap never binds
+        ))
+        return capped, uncapped
+
+    capped, uncapped = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("Ablation — TPM discharge capping")
+    row("", "capped (paper)", "uncapped")
+    row("projected life (days)", f"{capped.projected_life_days:.0f}",
+        f"{uncapped.projected_life_days:.0f}")
+    row("min voltage (V)", f"{capped.min_battery_voltage:.2f}",
+        f"{uncapped.min_battery_voltage:.2f}")
+    row("throughput (GB/h)", f"{capped.throughput_gb_per_hour:.2f}",
+        f"{uncapped.throughput_gb_per_hour:.2f}")
+
+    # Capping protects the buffer: longer life, shallower sags.
+    assert capped.projected_life_days >= uncapped.projected_life_days
+    assert capped.min_battery_voltage >= uncapped.min_battery_voltage - 0.05
+
+
+def test_ablation_elastic_threshold(benchmark):
+    """§3.3: with a worn bank whose cabinets all sit past their Eq. 1
+    allowance, the rigid threshold starves the load while the elastic
+    one trades a little battery life for continued processing."""
+
+    def run_worn(elastic):
+        trace = make_day_trace("cloudy", dt_seconds=5.0, seed=21,
+                               target_mean_w=500.0)
+        system = build_system(
+            trace, VideoSurveillance(), controller="insure", seed=21,
+            initial_soc=0.45,
+            insure_params=InsureParams(spatial=SpatialParams(elastic=elastic)),
+        )
+        # Every cabinet is already past its prorated discharge budget.
+        for unit in system.bank:
+            unit.wear.discharge_ah = 30.0
+            system.telemetry.senses[unit.name].discharge_ah = 30.0
+        return system.run()
+
+    def run():
+        return run_worn(True), run_worn(False)
+
+    elastic, rigid = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("Ablation — elastic vs rigid discharge threshold (worn bank)")
+    row("", "elastic (paper)", "rigid")
+    row("processed (GB)", f"{elastic.processed_gb:.1f}", f"{rigid.processed_gb:.1f}")
+    row("uptime", f"{elastic.uptime_fraction * 100:.0f}%",
+        f"{rigid.uptime_fraction * 100:.0f}%")
+
+    # The elastic threshold unlocks the worn cabinets for charging; the
+    # rigid one leaves the buffer unusable and the system solar-bound.
+    assert elastic.processed_gb > rigid.processed_gb
+
+
+def test_ablation_charge_to_level(benchmark):
+    """Charging to 90 % before going online versus insisting on 100 %."""
+
+    def run():
+        ninety = day_run(InsureParams(spatial=SpatialParams(charge_to_soc=0.90)))
+        full = day_run(InsureParams(spatial=SpatialParams(charge_to_soc=0.995)))
+        return ninety, full
+
+    ninety, full = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("Ablation — charge-to level before online")
+    row("", "90% (paper)", "99.5%")
+    row("uptime", f"{ninety.uptime_fraction * 100:.0f}%",
+        f"{full.uptime_fraction * 100:.0f}%")
+    row("curtailed (kWh)", f"{ninety.curtailed_kwh:.2f}", f"{full.curtailed_kwh:.2f}")
+
+    # Insisting on a full charge keeps cabinets in the slow taper longer,
+    # delaying their return to the load bus: uptime can only suffer.
+    assert ninety.uptime_fraction >= full.uptime_fraction - 0.02

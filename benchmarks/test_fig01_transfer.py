@@ -1,0 +1,30 @@
+"""Figure 1: overheads of bulk data movement."""
+
+from conftest import banner, row
+
+from repro.cost.transfer import LINKS, aws_egress_cost_per_tb, transfer_hours_per_tb
+
+
+def test_fig1a_transfer_time(benchmark):
+    """Figure 1(a): hours per TB for typical network speeds."""
+    times = benchmark(lambda: {n: transfer_hours_per_tb(m) for n, m in LINKS.items()})
+    banner("Figure 1(a) — data transfer time (hours per TB)")
+    for name, hours in times.items():
+        row(name, f"{hours:,.1f} h")
+    # Shape: spans four orders of magnitude, slowest link takes weeks.
+    assert times["T1 (1.5 Mbps)"] / times["10 Gbps"] > 1_000
+    assert times["T1 (1.5 Mbps)"] > 24 * 14
+
+
+def test_fig1b_aws_egress(benchmark):
+    """Figure 1(b): average $/TB of AWS data-transfer-out (Jan 2014)."""
+    tiers = (10, 50, 150, 250, 500)
+    costs = benchmark(lambda: [aws_egress_cost_per_tb(tb) for tb in tiers])
+    banner("Figure 1(b) — AWS egress $/TB  (paper: ~$120 down to ~$50)")
+    for tb, cost in zip(tiers, costs):
+        row(f"{tb} TB", f"${cost:.0f}/TB")
+    assert costs[0] > 100.0
+    assert costs[-1] < 60.0
+    assert costs == sorted(costs, reverse=True)
+    # Paper headline: over $60 per TB transferred out.
+    assert all(c > 45.0 for c in costs)

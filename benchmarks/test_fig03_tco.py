@@ -1,0 +1,48 @@
+"""Figure 3: cost benefits of deploying standalone InS."""
+
+from conftest import banner, row
+
+from repro.cost.energy import DIESEL, FUEL_CELL, SOLAR_BATTERY, energy_tco
+from repro.cost.it import it_tco_timeline
+
+
+def test_fig3a_it_tco(benchmark):
+    """Figure 3(a): IT-related TCO over 1-5 years (thousands of $)."""
+    timeline = benchmark(it_tco_timeline)
+    banner("Figure 3(a) — IT TCO, $k  (paper: in-situ saves >55% / ~95%)")
+    years = (1, 2, 3, 4, 5)
+    row("year", *years)
+    for name, series in timeline.items():
+        row(name, *[f"{v:,.0f}" for v in series])
+
+    sa, insitu_sa = timeline["Satellite(SA)"][-1], timeline["InSitu + SA"][-1]
+    cell, insitu_4g = timeline["Cellular(4G)"][-1], timeline["InSitu + 4G"][-1]
+    assert 1.0 - insitu_sa / sa >= 0.55
+    assert 1.0 - insitu_4g / cell >= 0.90
+    # Over a million dollars saved in five years (values are in $k).
+    assert (cell - insitu_4g) > 1_000.0
+
+
+def test_fig3b_energy_tco(benchmark):
+    """Figure 3(b): energy-related TCO over 1-11 years."""
+    years = (1, 3, 5, 7, 9, 11)
+
+    def run():
+        return {
+            "In-Situ": [energy_tco(SOLAR_BATTERY, y) for y in years],
+            "Fuel Cell": [energy_tco(FUEL_CELL, y) for y in years],
+            "Diesel": [energy_tco(DIESEL, y) for y in years],
+        }
+
+    series = benchmark(run)
+    banner("Figure 3(b) — energy TCO, $  (paper: FC most expensive, "
+           "in-situ cheapest long-run)")
+    row("year", *years)
+    for name, values in series.items():
+        row(name, *[f"{v:,.0f}" for v in values])
+
+    # Shape: fuel cell dominates cost; solar+battery wins from ~year 3 on.
+    for i, _ in enumerate(years):
+        assert series["Fuel Cell"][i] >= series["In-Situ"][i]
+    assert series["In-Situ"][2] < series["Diesel"][2]
+    assert series["In-Situ"][-1] < series["Diesel"][-1] < series["Fuel Cell"][-1]

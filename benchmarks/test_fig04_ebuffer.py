@@ -1,0 +1,42 @@
+"""Figure 4: key properties of the energy buffer."""
+
+from conftest import banner, row
+
+from repro.experiments.charging import run_fig4a_charging, run_fig4b_discharge
+
+
+def test_fig4a_individual_vs_batch_charging(benchmark):
+    """Figure 4(a): sequential charging ~50 % faster on a scarce budget."""
+    result = benchmark.pedantic(run_fig4a_charging, rounds=1, iterations=1)
+    banner("Figure 4(a) — charge time to 90 %, hours "
+           "(paper: one-by-one ~50% faster)")
+    row("budget (W)", *result.budgets_w)
+    row("sequential", *[f"{h:.2f}" for h in result.sequential_h])
+    row("batch", *[f"{h:.2f}" for h in result.batch_h])
+
+    scarce = result.budgets_w[0]
+    assert result.reduction_at(scarce) > 0.35
+    # Crossover: with an abundant budget batch charging wins, which is
+    # exactly why Figure 10 sizes the batch as N = P_G / P_PC.
+    abundant = result.budgets_w[-1]
+    assert result.reduction_at(abundant) < 0.0
+
+
+def test_fig4b_discharge_and_recovery(benchmark):
+    """Figure 4(b): rate-capacity effect and capacity recovery."""
+    traces = benchmark.pedantic(run_fig4b_discharge, rounds=1, iterations=1)
+    banner("Figure 4(b) — high vs low load discharge")
+    high, low = traces["high"], traces["low"]
+    row("", "high load", "low load")
+    row("current (A)", f"{high.current_a:.0f}", f"{low.current_a:.0f}")
+    row("cut-out after (min)", f"{high.cutout_t / 60:.0f}", f"{low.cutout_t / 60:.0f}")
+    row("SoC stranded at cut-out", f"{high.soc_at_cutout:.2f}", f"{low.soc_at_cutout:.2f}")
+    row("OCV after 30 min rest (V)", f"{high.recovered_voltage:.2f}",
+        f"{low.recovered_voltage:.2f}")
+
+    # Rate-capacity effect: high current cuts out far earlier with far
+    # more capacity stranded.
+    assert high.cutout_t < low.cutout_t
+    assert high.soc_at_cutout > low.soc_at_cutout + 0.1
+    # Recovery effect: resting lifts the voltage back above the LVD.
+    assert high.recovered_voltage > 23.3 + 0.3

@@ -1,0 +1,35 @@
+"""Figure 14: InSURE power-behaviour demonstrations."""
+
+from conftest import banner, row
+
+from repro.experiments.behavior import (
+    run_fig14a_prioritisation,
+    run_fig14b_balancing,
+)
+
+
+def test_fig14a_charge_prioritisation(benchmark):
+    """Figure 14(a): the SPM gives charging priority to low-SoC cabinets
+    and charges them in budget-sized batches."""
+    result = benchmark.pedantic(run_fig14a_prioritisation, rounds=1, iterations=1)
+    banner("Figure 14(a) — charge prioritisation")
+    row("initial SoCs", *[f"{n}={s:.2f}" for n, s in result.initial_socs.items()])
+    row("SPM charge order", *result.charge_order)
+
+    assert result.charge_order, "SPM never selected a cabinet for charging"
+    # The first cabinet selected is the emptiest one.
+    lowest = min(result.initial_socs, key=result.initial_socs.get)
+    assert result.charge_order[0] == lowest
+
+
+def test_fig14b_discharge_balancing(benchmark):
+    """Figure 14(b): aggregated per-cabinet discharge stays balanced."""
+    result = benchmark.pedantic(run_fig14b_balancing, rounds=1, iterations=1)
+    banner("Figure 14(b) — balanced usage (per-cabinet discharge, Ah)")
+    row("InSURE per-unit Ah", *[f"{v:.1f}" for v in result.insure_per_unit_ah])
+    row("InSURE imbalance (max-min)", f"{result.insure_imbalance_ah:.2f} Ah")
+
+    per_unit = result.insure_per_unit_ah
+    assert max(per_unit) > 0.0
+    # Balanced usage: the spread stays within ~30 % of the heaviest unit.
+    assert result.insure_imbalance_ah <= 0.3 * max(per_unit)

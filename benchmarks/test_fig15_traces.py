@@ -1,0 +1,33 @@
+"""Figure 15: solar traces for evaluating micro benchmarks."""
+
+import numpy as np
+from conftest import banner, row
+
+from repro.solar.traces import paper_high_trace, paper_low_trace
+
+
+def test_fig15_solar_trace_calibration(benchmark):
+    """Paper: high generation averages 1114 W, low 427 W, with the low
+    trace showing heavier relative variability."""
+
+    def run():
+        return paper_high_trace(), paper_low_trace()
+
+    high, low = benchmark(run)
+    banner("Figure 15 — solar day traces")
+    row("", "high", "low")
+    row("mean power (W) [paper 1114/427]",
+        f"{high.mean_power_w:.0f}", f"{low.mean_power_w:.0f}")
+    row("daily energy (kWh)", f"{high.energy_kwh:.2f}", f"{low.energy_kwh:.2f}")
+    row("peak power (W)", f"{high.power_w.max():.0f}", f"{low.power_w.max():.0f}")
+    cv_high = float(np.std(high.power_w) / np.mean(high.power_w))
+    cv_low = float(np.std(low.power_w) / np.mean(low.power_w))
+    row("coefficient of variation", f"{cv_high:.2f}", f"{cv_low:.2f}")
+
+    assert high.mean_power_w == 1114.0 or abs(high.mean_power_w - 1114.0) < 1.0
+    assert abs(low.mean_power_w - 427.0) < 1.0
+    # The cloudy low trace is relatively much more variable.
+    assert cv_low > cv_high
+    # Both traces span the paper's 7:00-20:00 daytime window.
+    assert high.duration_s == low.duration_s
+    assert abs(high.duration_s - 13 * 3600.0) < 60.0

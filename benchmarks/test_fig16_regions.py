@@ -1,0 +1,23 @@
+"""Figure 16: full-day operation demonstration with Regions A-E."""
+
+from conftest import banner, row
+
+from repro.experiments.behavior import run_fig16_fullday
+
+
+def test_fig16_fullday_regions(benchmark):
+    """A live-MPPT day run exhibits the paper's characteristic regions:
+    A initial battery charging, B power tracking, C temporal control,
+    D supply-demand matching under abundant solar, E fluctuation."""
+    result = benchmark.pedantic(run_fig16_fullday, rounds=1, iterations=1)
+    banner("Figure 16 — full-day regions")
+    row("Region A: morning charging observed", result.had_morning_charging)
+    row("Region B/E: MPPT output ripple (W)", f"{result.mppt_tracking_std_w:.0f}")
+    row("Region C: capping events + stops",
+        result.capping_events + result.checkpoint_stops)
+    row("Region D: abundant-solar fraction", f"{result.abundant_fraction:.2f}")
+
+    assert result.had_morning_charging, "no Region A (initial charging)"
+    assert result.capping_events + result.checkpoint_stops > 0, "no Region C"
+    assert 0.05 < result.abundant_fraction < 0.95, "no Region D contrast"
+    assert result.mppt_tracking_std_w > 0.0, "no Region B/E tracking ripple"

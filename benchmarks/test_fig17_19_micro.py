@@ -1,0 +1,45 @@
+"""Figures 17-19: power-management effectiveness on micro benchmarks.
+
+Paper: service availability improves ~41 % (high solar) / ~51 % (low);
+e-Buffer energy availability ~41 %; expected service life 21-24 %.
+"""
+
+from conftest import banner, row
+
+from repro.experiments.micro_sweep import run_micro_sweep, sweep_averages
+from repro.workloads.micro import FIGURE17_BENCHMARKS
+
+
+def test_fig17_18_19_micro_sweep(benchmark):
+    comparisons = benchmark.pedantic(
+        lambda: run_micro_sweep(FIGURE17_BENCHMARKS), rounds=1, iterations=1
+    )
+    averages = sweep_averages(comparisons)
+
+    banner("Figures 17-19 — InSURE improvement over unoptimised baseline")
+    row("", "avail (Fig17)", "eBuffer (Fig18)", "life (Fig19)")
+    for comp in comparisons:
+        row(f"{comp.benchmark} [{comp.solar_level}]",
+            f"{comp.availability_improvement * 100:+.0f}%",
+            f"{comp.energy_availability_improvement * 100:+.0f}%",
+            f"{comp.service_life_improvement * 100:+.0f}%")
+    for level in ("high", "low"):
+        avg = averages[level]
+        row(f"avg [{level}]  (paper ~+41/+41/+22%)",
+            f"{avg['availability'] * 100:+.0f}%",
+            f"{avg['energy_availability'] * 100:+.0f}%",
+            f"{avg['service_life'] * 100:+.0f}%")
+
+    high, low = averages["high"], averages["low"]
+    # Figure 17 shape: InSURE strictly improves availability on average,
+    # and the improvement grows when solar generation is low.
+    assert high["availability"] > 0.05
+    assert low["availability"] > high["availability"]
+    # Figure 18 shape: usable buffer energy improves on average.
+    assert high["energy_availability"] > 0.10
+    # Figure 19 shape: service life improves on average at both levels.
+    assert high["service_life"] > 0.10
+    assert low["service_life"] > 0.10
+    # Per-benchmark: availability never regresses badly anywhere.
+    for comp in comparisons:
+        assert comp.availability_improvement > -0.10, comp.benchmark

@@ -1,0 +1,50 @@
+"""Figures 20-21: full-system evaluation on real in-situ workloads.
+
+Paper: InSURE outperforms the state-of-the-art baseline by 20 % to over
+60 % across system uptime, data throughput, response time, energy
+availability, battery lifetime and performance per Ah, with service
+metrics improving most when solar is scarce.
+"""
+
+from conftest import banner, row
+
+from repro.experiments.fullsystem import run_figure20, run_figure21
+
+
+def _report(results, title):
+    banner(title)
+    metrics = ("system_uptime", "load_perf", "avg_latency", "ebuffer_avail",
+               "service_life", "perf_per_ah")
+    row("", *(m.replace("_", " ") for m in metrics))
+    for level, comparison in results.items():
+        improvements = comparison.improvements
+        row(f"{level} solar ({comparison.solar_mean_w:.0f} W)",
+            *[f"{improvements[m] * 100:+.0f}%" for m in metrics])
+    return results
+
+
+def _assert_shape(results):
+    for level, comparison in results.items():
+        improvements = comparison.improvements
+        wins = sum(1 for v in improvements.values() if v > 0.0)
+        # InSURE wins the clear majority of the six metrics.
+        assert wins >= 4, (level, improvements)
+        # Battery lifetime: the paper's most robust system-level gain.
+        assert improvements["service_life"] > 0.10, (level, improvements)
+    # The uptime benefit grows as the system becomes energy-constrained.
+    assert (
+        results["low"].improvements["system_uptime"]
+        >= results["high"].improvements["system_uptime"] - 0.05
+    )
+
+
+def test_fig20_batch_fullsystem(benchmark):
+    results = benchmark.pedantic(run_figure20, rounds=1, iterations=1)
+    _report(results, "Figure 20 — in-situ batch job (seismic), InSURE vs baseline")
+    _assert_shape(results)
+
+
+def test_fig21_stream_fullsystem(benchmark):
+    results = benchmark.pedantic(run_figure21, rounds=1, iterations=1)
+    _report(results, "Figure 21 — in-situ data stream (video), InSURE vs baseline")
+    _assert_shape(results)

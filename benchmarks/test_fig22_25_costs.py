@@ -1,0 +1,93 @@
+"""Figures 22-25: cost benefits of InSURE."""
+
+from conftest import banner, row
+
+from repro.cost.energy import annual_depreciation, annual_depreciation_total
+from repro.cost.scaleout import (
+    amortized_cloud_cost,
+    amortized_scaleout_cost,
+    cloud_cost,
+    crossover_rate,
+    insitu_cost,
+    tco_vs_data_rate,
+)
+from repro.cost.scenarios import SCENARIOS, all_scenario_savings
+
+
+def test_fig22_annual_depreciation(benchmark):
+    """Paper: DG-based InS costs ~20 % more, FC-based ~24 % more."""
+    totals = benchmark(
+        lambda: {s: annual_depreciation_total(s) for s in ("InSURE", "DG", "FC")}
+    )
+    banner("Figure 22 — annual depreciation cost ($/yr)")
+    for system, total in totals.items():
+        extra = total / totals["InSURE"] - 1.0
+        row(system, f"${total:,.0f}", f"{extra * 100:+.0f}% vs InSURE")
+    breakdown = annual_depreciation("InSURE")
+    battery_share = breakdown["battery"] / totals["InSURE"]
+    pv_share = (breakdown["pv_panels"] + breakdown["inverter"]) / totals["InSURE"]
+    row("e-Buffer share (paper ~9%)", f"{battery_share * 100:.0f}%")
+    row("PV+inverter share (paper ~8%)", f"{pv_share * 100:.0f}%")
+
+    assert 0.15 <= totals["DG"] / totals["InSURE"] - 1.0 <= 0.25
+    assert 0.20 <= totals["FC"] / totals["InSURE"] - 1.0 <= 0.30
+    assert 0.07 <= battery_share <= 0.11
+    assert 0.06 <= pv_share <= 0.10
+
+
+def test_fig23_scaleout_vs_cloud(benchmark):
+    """Paper: scaling InSURE out beats the cloud at every sunshine
+    fraction, saving up to 60 %."""
+    fractions = (1.0, 0.8, 0.6, 0.4)
+    results = benchmark(
+        lambda: {ssf: amortized_scaleout_cost(ssf) for ssf in fractions}
+    )
+    cloud = amortized_cloud_cost()
+    banner("Figure 23 — amortized cost ($/yr), 240 GB/day demand")
+    row("relying on cloud", f"${cloud:,.0f}")
+    for ssf, cost in results.items():
+        row(f"scaling out @ {ssf * 100:.0f}% sunshine", f"${cost:,.0f}",
+            f"saves {100 * (1 - cost / cloud):.0f}%")
+
+    costs = [results[s] for s in fractions]
+    assert costs == sorted(costs)  # dimmer sites need more pods
+    assert all(c < cloud for c in costs)
+    assert 1.0 - costs[0] / cloud >= 0.60
+
+
+def test_fig24_tco_crossover(benchmark):
+    """Paper: the cost-effective zone of InSURE starts at ~0.9 GB/day and
+    reaches ~96 % savings at 0.5 TB/day."""
+    curves = benchmark(tco_vs_data_rate)
+    rate = crossover_rate()
+    banner("Figure 24 — TCO vs data generation rate (3-year deployment)")
+    rates = (0.5, 5.0, 50.0, 500.0)
+    row("GB/day", *rates)
+    for name, series in curves.items():
+        row(name, *[f"${v:,.0f}" for v in series])
+    row("crossover (paper ~0.9 GB/day)", f"{rate:.2f} GB/day")
+    saving = 1.0 - insitu_cost(500.0) / cloud_cost(500.0)
+    row("saving at 500 GB/day (paper ~96%)", f"{saving * 100:.1f}%")
+
+    assert 0.5 <= rate <= 1.5
+    assert saving >= 0.90
+    # Below the crossover the cloud wins; above, in-situ wins.
+    assert curves["cloud"][0] < curves["insitu-100%"][0]
+    assert curves["cloud"][-1] > curves["insitu-100%"][-1]
+
+
+def test_fig25_application_scenarios(benchmark):
+    """Paper: application-dependent savings from 15 % to 97 %."""
+    savings = benchmark(all_scenario_savings)
+    banner("Figure 25 — per-scenario cost savings")
+    for key, saving in savings.items():
+        scenario = SCENARIOS[key]
+        lo, hi = scenario.paper_savings_range
+        row(f"{key}: {scenario.name}",
+            f"{saving * 100:.0f}%", f"paper {lo * 100:.0f}-{hi * 100:.0f}%")
+
+    for key, saving in savings.items():
+        lo, hi = SCENARIOS[key].paper_savings_range
+        assert lo - 0.12 <= saving <= hi + 0.12, (key, saving)
+    # Long, data-heavy deployments save the most.
+    assert savings["E"] >= savings["C"] >= savings["B"]

@@ -1,0 +1,49 @@
+"""Table 6: day-long operation logs, Opt versus No-Opt."""
+
+from conftest import banner
+
+from repro.experiments.table6 import format_table6, run_table6
+
+
+def test_table6_daylong_logs(benchmark):
+    """Paper: the optimisation performs far more control operations
+    (47-51 power ctrl vs 10-12), trades a little effective energy for a
+    healthier buffer (lower voltage sigma, higher end-of-day voltage)."""
+    cells = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    banner("Table 6 — day-long logs (paper layout)")
+    print(format_table6(cells))
+
+    by_key = {(c.day, c.scheme): c.summary for c in cells}
+    for day in ("sunny", "cloudy", "rainy"):
+        opt = by_key[(day, "Opt")]
+        non = by_key[(day, "Non-Opt")]
+        # Buffer health: Opt's worst sag stays in the same band as
+        # No-Opt's (both protected), never dramatically deeper.
+        assert opt.min_battery_voltage >= non.min_battery_voltage - 0.25
+        # Lifetime: the optimisation projects a longer service life.
+        assert opt.projected_life_days >= non.projected_life_days * 0.95
+        # Voltage stability: No-Opt's sigma is markedly higher (the paper
+        # reports 12 % higher; our unified baseline swings harder).
+        assert non.battery_voltage_sigma > opt.battery_voltage_sigma
+
+    # Opt is the fine-grained scheme: on the days with enough energy to
+    # manage (sunny/cloudy), its VM-level control activity dominates.
+    opt_vm = sum(by_key[(d, "Opt")].vm_ctrl_times for d in ("sunny", "cloudy"))
+    non_vm = sum(by_key[(d, "Non-Opt")].vm_ctrl_times for d in ("sunny", "cloudy"))
+    assert opt_vm > non_vm
+    # And it converts the same solar budget into more effective energy.
+    for day in ("sunny", "cloudy", "rainy"):
+        assert (
+            by_key[(day, "Opt")].effective_energy_kwh
+            > by_key[(day, "Non-Opt")].effective_energy_kwh
+        )
+
+    # Energies scale with the day's solar budget (7.9 > 5.9 > 3.0 kWh).
+    assert (
+        by_key[("sunny", "Opt")].solar_energy_kwh
+        > by_key[("cloudy", "Opt")].solar_energy_kwh
+        > by_key[("rainy", "Opt")].solar_energy_kwh
+    )
+    # Effective energy is always a subset of load energy.
+    for summary in by_key.values():
+        assert summary.effective_energy_kwh <= summary.load_energy_kwh + 1e-9

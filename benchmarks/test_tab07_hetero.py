@@ -1,0 +1,46 @@
+"""Table 7: legacy Xeon versus low-power Core i7 node."""
+
+import pytest
+from conftest import banner, row
+
+from repro.experiments.table7 import efficiency_gains, run_table7
+
+PAPER = {
+    ("dedup", "xeon-dl380"): (97.0, 360.0, 277.0),
+    ("dedup", "core-i7"): (48.0, 46.0, 4400.0),
+    ("x264", "xeon-dl380"): (4.6, 350.0, 12.4),
+    ("x264", "core-i7"): (4.7, 42.0, 101.3),
+    ("bayesian", "xeon-dl380"): (439.0, 356.0, 111.0),
+    ("bayesian", "core-i7"): (662.0, 42.0, 621.0),
+}
+
+
+def test_table7_server_heterogeneity(benchmark):
+    """Paper: the i7 node improves data-per-kWh by 5x-15x."""
+    rows = benchmark(run_table7)
+    banner("Table 7 — Xeon vs Core i7  (exe time, power, GB/kWh)")
+    row("", "exe (s)", "paper", "power (W)", "paper", "GB/kWh", "paper")
+    for item in rows:
+        p_exe, p_pwr, p_eff = PAPER[(item.benchmark, item.server)]
+        row(f"{item.benchmark} / {item.server}",
+            f"{item.exe_time_s:.1f}", f"{p_exe:.1f}",
+            f"{item.avg_power_w:.0f}", f"{p_pwr:.0f}",
+            f"{item.gb_per_kwh:.0f}", f"{p_eff:.0f}")
+
+    gains = efficiency_gains(rows)
+    banner(f"Energy-efficiency gains (paper: 5x-15x): "
+           f"{ {k: round(v, 1) for k, v in gains.items()} }")
+
+    # Exe times were calibrated from the paper's measurements: tight match.
+    indexed = {(r.benchmark, r.server): r for r in rows}
+    for key, (p_exe, p_pwr, _) in PAPER.items():
+        assert indexed[key].exe_time_s == pytest.approx(p_exe, rel=0.06)
+        assert indexed[key].avg_power_w == pytest.approx(p_pwr, rel=0.35)
+    # The headline: gains within (or near) the paper's 5x-15x band.
+    assert all(4.0 <= g <= 16.0 for g in gains.values())
+    # The i7 is not universally faster (bayes is slower) yet always wins
+    # on efficiency — the paper's "interesting observation".
+    assert indexed[("bayesian", "core-i7")].exe_time_s > indexed[
+        ("bayesian", "xeon-dl380")
+    ].exe_time_s
+    assert all(g > 1.0 for g in gains.values())

@@ -1,0 +1,66 @@
+"""Deployment planner: is in-situ processing worth it for your site?
+
+Interactive use of the cost models behind Figures 3, 23, 24 and 25:
+given a data generation rate, a sunshine fraction and a deployment
+length, compare an InSURE deployment against shipping raw data out.
+
+Run:  python examples/deployment_planner.py [gb_per_day] [sunshine] [days]
+e.g.  python examples/deployment_planner.py 120 0.65 180
+"""
+
+import sys
+
+from repro.cost.scaleout import (
+    cloud_cost,
+    crossover_rate,
+    insitu_cost,
+    pods_required,
+)
+from repro.cost.scenarios import SCENARIOS, scenario_savings
+from repro.cost.transfer import transfer_hours_per_tb
+
+
+def main() -> None:
+    gb_per_day = float(sys.argv[1]) if len(sys.argv) > 1 else 120.0
+    sunshine = float(sys.argv[2]) if len(sys.argv) > 2 else 0.7
+    days = float(sys.argv[3]) if len(sys.argv) > 3 else 180.0
+    years = days / 365.0
+
+    print("In-situ deployment planner")
+    print("=" * 52)
+    print(f"site data rate       {gb_per_day:8.1f} GB/day")
+    print(f"sunshine fraction    {sunshine:8.2f}")
+    print(f"deployment length    {days:8.0f} days")
+
+    local = insitu_cost(gb_per_day, sunshine, years)
+    remote = cloud_cost(gb_per_day, years)
+    pods = pods_required(gb_per_day, sunshine)
+
+    print(f"\nInSURE deployment    ${local:12,.0f}  ({pods} pod(s))")
+    print(f"cellular-to-cloud    ${remote:12,.0f}")
+    if local < remote:
+        print(f"verdict: deploy in-situ — saves {100 * (1 - local / remote):.0f}%")
+    else:
+        print(f"verdict: use the cloud — in-situ costs "
+              f"{100 * (local / remote - 1):.0f}% more")
+    print(f"(break-even data rate at full sun: "
+          f"{crossover_rate():.2f} GB/day — paper: ~0.9)")
+
+    # How long would shipping the backlog take over realistic links?
+    tb_per_month = gb_per_day * 30 / 1000.0
+    print(f"\nmoving one month of raw data ({tb_per_month:.1f} TB) would take:")
+    for name, mbps in (("cellular (20 Mbps)", 20.0), ("T3 (45 Mbps)", 44.7),
+                       ("100 Mbps fibre", 100.0)):
+        hours = transfer_hours_per_tb(mbps) * tb_per_month
+        print(f"  {name:20s} {hours / 24:6.1f} days of continuous transfer")
+
+    print("\nreference scenarios (Figure 25):")
+    for key, scenario in SCENARIOS.items():
+        saving = scenario_savings(scenario, sunshine)
+        print(f"  {key}: {scenario.name:36s} "
+              f"{scenario.data_rate_gb_day:5.0f} GB/day x "
+              f"{scenario.deployment_days:4.0f} d -> saves {saving * 100:3.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""InSURE reproduction: sustainable in-situ server systems (ISCA 2015).
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-time simulation kernel.
+``repro.battery`` / ``repro.solar`` / ``repro.power`` / ``repro.cluster``
+    Plant substrates: energy buffer, PV supply, electrical plumbing,
+    server cluster.
+``repro.workloads``
+    In-situ workload models (seismic batch, video stream, micro kernels).
+``repro.core``
+    The paper's contribution: spatio-temporal power management and the
+    full-system assembly (:func:`repro.core.system.build_system`).
+``repro.telemetry`` / ``repro.cost`` / ``repro.experiments``
+    Measurement, economics, and per-table/figure experiment runners.
+"""
+
+__version__ = "1.0.0"

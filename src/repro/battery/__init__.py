@@ -1,0 +1,47 @@
+"""Lead-acid battery substrate.
+
+The InSURE prototype used six UPG UB1280 12 V / 35 Ah valve-regulated
+lead-acid batteries arranged as three 24 V cabinets, each independently
+switchable through a relay pair.  This package models one cabinet as a
+:class:`~repro.battery.unit.BatteryUnit` built from four coupled models:
+
+* :mod:`repro.battery.kibam` — the Kinetic Battery Model (two-well), which
+  natively reproduces the *rate-capacity effect* (fast capacity drop at high
+  discharge current) and the *recovery effect* (capacity returning during low
+  demand) that Figure 4(b) of the paper measures.
+* :mod:`repro.battery.voltage` — open-circuit EMF as a function of the
+  available-well head plus ohmic terminal behaviour, giving the voltage
+  traces of Figures 5, 14 and 16.
+* :mod:`repro.battery.acceptance` — state-of-charge dependent charge
+  acceptance with gassing/side-reaction losses, the mechanism behind the
+  sequential-vs-batch charging result of Figure 4(a).
+* :mod:`repro.battery.wear` — stress-weighted ampere-hour throughput wear
+  (the paper's observation, via [56], that total electric charge through a
+  lead-acid battery is roughly constant over its life), which drives the
+  discharge threshold of Eq. 1 and the service-life results of Figure 19.
+
+:class:`~repro.battery.bank.BatteryBank` aggregates units and
+:class:`~repro.battery.charger.SolarCharger` implements the CC/CV charging
+allocation used by the spatial power manager.
+"""
+
+from repro.battery.acceptance import ChargeAcceptance
+from repro.battery.bank import BatteryBank
+from repro.battery.charger import SolarCharger
+from repro.battery.kibam import KiBaM
+from repro.battery.params import BatteryParams
+from repro.battery.unit import BatteryMode, BatteryUnit
+from repro.battery.voltage import VoltageModel
+from repro.battery.wear import WearModel
+
+__all__ = [
+    "BatteryBank",
+    "BatteryMode",
+    "BatteryParams",
+    "BatteryUnit",
+    "ChargeAcceptance",
+    "KiBaM",
+    "SolarCharger",
+    "VoltageModel",
+    "WearModel",
+]

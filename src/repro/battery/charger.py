@@ -1,0 +1,152 @@
+"""CC/CV solar charging allocation.
+
+The charger takes the solar power left over after the server load and
+splits it across the cabinets the spatial manager selected for charging.
+Allocation is waterfall-style: each selected cabinet receives current up to
+its acceptance ceiling while budget remains, in selection order, so that
+"concentrate the budget on fewer batteries" (paper §2.2, Figure 10) is the
+natural behaviour when the budget is scarce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.battery.unit import BatteryUnit
+
+
+@dataclass(frozen=True)
+class ChargeResult:
+    """Outcome of one charging step across the bank."""
+
+    power_used_w: float
+    power_offered_w: float
+    accepted_ah: float
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the offered budget that reached the charger."""
+        if self.power_offered_w <= 0.0:
+            return 0.0
+        return self.power_used_w / self.power_offered_w
+
+
+class SolarCharger:
+    """Allocates a power budget to charging cabinets.
+
+    Parameters
+    ----------
+    efficiency:
+        Conversion efficiency of the charge controller (PV bus to battery
+        terminals).  Typical MPPT charge controllers run at 0.92-0.97.
+    per_string_overhead_w:
+        Fixed power consumed per *connected* charging string (relay coil,
+        per-string converter quiescent draw, wiring).  Together with the
+        battery-side parasitic current this makes batch charging pay the
+        overhead once per cabinet, so concentrating a scarce budget on
+        fewer cabinets charges faster (Figure 4a).
+    """
+
+    def __init__(self, efficiency: float = 0.94, per_string_overhead_w: float = 15.0) -> None:
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError(f"efficiency must be in (0,1], got {efficiency}")
+        if per_string_overhead_w < 0:
+            raise ValueError("per_string_overhead_w must be non-negative")
+        self.efficiency = efficiency
+        self.per_string_overhead_w = per_string_overhead_w
+
+    def peak_charging_power(self, unit: BatteryUnit) -> float:
+        """P_PC of Figure 10: terminal power drawn by one cabinet charging
+        at its bulk acceptance ceiling."""
+        amps = unit.acceptance.params.bulk_c_rate * unit.params.capacity_ah
+        return amps * unit.params.voltage.v_charge_max / self.efficiency
+
+    def step(
+        self,
+        targets: list[BatteryUnit],
+        power_budget_w: float,
+        dt_seconds: float,
+    ) -> ChargeResult:
+        """Charge ``targets`` from ``power_budget_w`` for one step.
+
+        Connected cabinets share a common charge bus, so the budget is
+        split evenly across them, with water-filling: if a cabinet's
+        acceptance ceiling caps its draw below its even share, the leftover
+        is redistributed to the others (as the bus voltage would do
+        naturally).  Every connected string pays a fixed overhead for the
+        whole step — the term that penalises batch charging on a scarce
+        budget and motivates the SPM's adaptive batch sizing (Figure 10).
+        Returns the power drawn from the PV bus and the Ah stored.
+        """
+        if power_budget_w < 0:
+            raise ValueError("power budget must be non-negative")
+        if not targets:
+            return ChargeResult(0.0, power_budget_w, 0.0)
+
+        remaining = power_budget_w * self.efficiency
+        used = 0.0
+        accepted_ah = 0.0
+
+        # Each connected string pays its overhead before any charge flows;
+        # strings the budget cannot even power stay idle this step.
+        if self.per_string_overhead_w > 0:
+            payable = min(len(targets), int(remaining // self.per_string_overhead_w))
+        else:
+            payable = len(targets)
+        connected = targets[:payable]
+        for unit in targets[payable:]:
+            unit.idle(dt_seconds)
+        if not connected:
+            return ChargeResult(0.0, power_budget_w, 0.0)
+        overhead = self.per_string_overhead_w * len(connected)
+        remaining -= overhead
+        used += overhead
+
+        # Water-filling: grant each cabinet min(even share, acceptance
+        # ceiling); redistribute leftovers until the budget is exhausted.
+        grants = {unit.name: 0.0 for unit in connected}
+        active = list(connected)
+        for _ in range(4):
+            if remaining <= 1e-9 or not active:
+                break
+            share = remaining / len(active)
+            next_active = []
+            for unit in active:
+                voltage = max(unit.terminal_voltage, unit.params.voltage.emf_empty)
+                ceiling_w = unit.max_charge_current() * voltage
+                headroom = max(0.0, ceiling_w - grants[unit.name])
+                grant = min(share, headroom)
+                grants[unit.name] += grant
+                remaining -= grant
+                if grant >= share - 1e-9:
+                    next_active.append(unit)
+            active = next_active
+
+        for unit in connected:
+            watts = grants[unit.name]
+            voltage = max(unit.terminal_voltage, unit.params.voltage.emf_empty)
+            applied = watts / voltage
+            if applied <= 0.0:
+                unit.idle(dt_seconds)
+                continue
+            stored = unit.apply_charge(applied, dt_seconds)
+            used += watts
+            accepted_ah += stored * dt_seconds / 3600.0
+
+        return ChargeResult(
+            power_used_w=used / self.efficiency,
+            power_offered_w=power_budget_w,
+            accepted_ah=accepted_ah,
+        )
+
+    def float_step(self, units: list[BatteryUnit], dt_seconds: float) -> float:
+        """Trickle-charge standby units; returns the power consumed (W)."""
+        total = 0.0
+        for unit in units:
+            amps = unit.params.acceptance.float_c_rate * unit.params.capacity_ah
+            # Float charging merely offsets self-discharge; model it as an
+            # idle step plus the bus power it costs.
+            unit.idle(dt_seconds)
+            unit.kibam.apply_current(-amps * 0.5, dt_seconds)
+            total += amps * unit.terminal_voltage / self.efficiency
+        return total

@@ -1,0 +1,165 @@
+"""Battery parameter sets.
+
+Defaults model one InSURE battery cabinet: two UPG UB1280 12 V / 35 Ah VRLA
+batteries in series (24 V nominal), matching the voltage ranges logged in
+Table 6 of the paper (initial 25.4 V, maximum 28.8 V, minima around 23.3 V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class KiBaMParams:
+    """Kinetic Battery Model constants.
+
+    Attributes
+    ----------
+    c:
+        Fraction of total capacity held in the available well.  Lead-acid
+        values are typically 0.55-0.65.
+    k_per_hour:
+        Diffusion rate constant between the bound and available wells, in
+        1/hour.  Governs how quickly capacity "recovers" at low load.
+    """
+
+    c: float = 0.62
+    k_per_hour: float = 4.0
+
+    def validate(self) -> None:
+        if not 0.0 < self.c < 1.0:
+            raise ValueError(f"KiBaM c must be in (0,1), got {self.c}")
+        if self.k_per_hour <= 0:
+            raise ValueError(f"KiBaM k must be positive, got {self.k_per_hour}")
+
+
+@dataclass(frozen=True)
+class VoltageParams:
+    """Open-circuit EMF and ohmic parameters for a 24 V cabinet."""
+
+    emf_empty: float = 23.0
+    emf_full: float = 25.6
+    r_internal_ohm: float = 0.030
+    #: Constant-voltage charging setpoint (absorption voltage).
+    v_charge_max: float = 28.8
+    #: Low-voltage disconnect threshold used for system protection.
+    v_cutoff: float = 23.3
+
+    def validate(self) -> None:
+        if self.emf_full <= self.emf_empty:
+            raise ValueError("emf_full must exceed emf_empty")
+        if self.r_internal_ohm <= 0:
+            raise ValueError("internal resistance must be positive")
+        if self.v_charge_max <= self.emf_full:
+            raise ValueError("v_charge_max must exceed emf_full")
+        if not self.emf_empty <= self.v_cutoff < self.emf_full:
+            raise ValueError("v_cutoff must lie within the EMF range")
+
+
+@dataclass(frozen=True)
+class AcceptanceParams:
+    """Charge-acceptance and charging-loss constants.
+
+    Attributes
+    ----------
+    bulk_c_rate:
+        Maximum charge current in the bulk (constant-current) phase as a
+        fraction of capacity per hour (0.25 C is typical for VRLA).
+    taper_start_soc:
+        State of charge at which the absorption taper begins.
+    taper_exponent:
+        Steepness of the exponential taper towards full charge.
+    float_c_rate:
+        Residual float-charge current at 100 % SoC.
+    gassing_soc:
+        SoC above which side reactions (gassing) start consuming current.
+    gassing_fraction:
+        Fraction of charge current lost to gassing at 100 % SoC.
+    parasitic_amps:
+        Per-cabinet constant side-reaction / conversion overhead drawn
+        whenever the cabinet is being charged.  This is the term that makes
+        concentrating a scarce solar budget on fewer batteries faster
+        (Figure 4a): charging N cabinets at once pays the overhead N times.
+    """
+
+    bulk_c_rate: float = 0.25
+    taper_start_soc: float = 0.85
+    taper_exponent: float = 4.0
+    float_c_rate: float = 0.01
+    gassing_soc: float = 0.88
+    gassing_fraction: float = 0.30
+    parasitic_amps: float = 0.6
+
+    def validate(self) -> None:
+        if self.bulk_c_rate <= 0:
+            raise ValueError("bulk_c_rate must be positive")
+        if not 0.0 < self.taper_start_soc < 1.0:
+            raise ValueError("taper_start_soc must be in (0,1)")
+        if self.float_c_rate < 0 or self.float_c_rate > self.bulk_c_rate:
+            raise ValueError("float_c_rate must be in [0, bulk_c_rate]")
+        if not 0.0 < self.gassing_soc < 1.0:
+            raise ValueError("gassing_soc must be in (0,1)")
+        if not 0.0 <= self.gassing_fraction <= 1.0:
+            raise ValueError("gassing_fraction must be in [0,1]")
+        if self.parasitic_amps < 0:
+            raise ValueError("parasitic_amps must be non-negative")
+
+
+@dataclass(frozen=True)
+class WearParams:
+    """Ampere-hour throughput wear constants.
+
+    The lifetime throughput default corresponds to roughly 500 full cycles
+    of a 35 Ah cabinet (discharge Ah only), the paper's 4-5 year service
+    expectation under daily cycling.
+    """
+
+    lifetime_ah: float = 17500.0
+    design_life_days: float = 4.0 * 365.0
+    #: Extra wear multiplier slope for discharge C-rates above ``stress_c_rate``.
+    stress_c_rate: float = 0.30
+    stress_rate_slope: float = 2.0
+    #: Extra wear multiplier slope for discharging below ``deep_soc``.
+    deep_soc: float = 0.45
+    deep_slope: float = 1.5
+
+    def validate(self) -> None:
+        if self.lifetime_ah <= 0:
+            raise ValueError("lifetime_ah must be positive")
+        if self.design_life_days <= 0:
+            raise ValueError("design_life_days must be positive")
+        if self.stress_c_rate <= 0 or self.deep_soc <= 0:
+            raise ValueError("stress thresholds must be positive")
+
+
+@dataclass(frozen=True)
+class BatteryParams:
+    """Complete parameter set for one battery cabinet."""
+
+    capacity_ah: float = 35.0
+    nominal_voltage: float = 24.0
+    #: Self-discharge rate (fraction of capacity per day) while idle.
+    self_discharge_per_day: float = 0.001
+    kibam: KiBaMParams = field(default_factory=KiBaMParams)
+    voltage: VoltageParams = field(default_factory=VoltageParams)
+    acceptance: AcceptanceParams = field(default_factory=AcceptanceParams)
+    wear: WearParams = field(default_factory=WearParams)
+
+    def validate(self) -> "BatteryParams":
+        if self.capacity_ah <= 0:
+            raise ValueError("capacity_ah must be positive")
+        if self.nominal_voltage <= 0:
+            raise ValueError("nominal_voltage must be positive")
+        if self.self_discharge_per_day < 0:
+            raise ValueError("self_discharge_per_day must be non-negative")
+        self.kibam.validate()
+        self.voltage.validate()
+        self.acceptance.validate()
+        self.wear.validate()
+        return self
+
+    @property
+    def energy_wh(self) -> float:
+        """Nominal stored energy of a full cabinet in watt-hours."""
+        return self.capacity_ah * self.nominal_voltage

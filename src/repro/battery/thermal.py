@@ -1,0 +1,112 @@
+"""Ambient temperature effects on lead-acid cabinets.
+
+The prototype's cost model budgets HVAC (Figure 22) because in-situ
+containers see real weather.  This module provides the two dominant
+lead-acid temperature couplings as an opt-in refinement:
+
+* **Capacity derating** — available capacity falls roughly 0.8 %/°C
+  below the 25 °C rating (electrolyte viscosity / reaction kinetics).
+* **Wear acceleration** — corrosion follows an Arrhenius law: service
+  life roughly halves for every 10 °C above 25 °C.
+
+plus a simple diurnal ambient profile for a field container.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+REFERENCE_C = 25.0
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """Temperature-coupling constants."""
+
+    #: Fractional capacity change per °C below reference.
+    capacity_slope_per_c: float = 0.008
+    #: Life halves for every this many °C above reference.
+    arrhenius_doubling_c: float = 10.0
+    #: Coldest capacity factor honoured (deep-frozen electrolyte floor).
+    min_capacity_factor: float = 0.5
+
+    def validate(self) -> None:
+        if self.capacity_slope_per_c <= 0:
+            raise ValueError("capacity_slope_per_c must be positive")
+        if self.arrhenius_doubling_c <= 0:
+            raise ValueError("arrhenius_doubling_c must be positive")
+        if not 0.0 < self.min_capacity_factor <= 1.0:
+            raise ValueError("min_capacity_factor must be in (0, 1]")
+
+
+def capacity_factor(ambient_c: float, params: ThermalParams | None = None) -> float:
+    """Usable-capacity multiplier at ``ambient_c``.
+
+    Below 25 °C capacity shrinks linearly; above, it is held at 1.0 (the
+    small high-temperature capacity gain is not worth modelling next to
+    the wear it costs).
+    """
+    p = params or ThermalParams()
+    p.validate()
+    if ambient_c >= REFERENCE_C:
+        return 1.0
+    factor = 1.0 - p.capacity_slope_per_c * (REFERENCE_C - ambient_c)
+    return max(p.min_capacity_factor, factor)
+
+
+def wear_factor(ambient_c: float, params: ThermalParams | None = None) -> float:
+    """Wear-rate multiplier at ``ambient_c`` (Arrhenius above reference)."""
+    p = params or ThermalParams()
+    p.validate()
+    if ambient_c <= REFERENCE_C:
+        return 1.0
+    return math.pow(2.0, (ambient_c - REFERENCE_C) / p.arrhenius_doubling_c)
+
+
+@dataclass(frozen=True)
+class AmbientProfile:
+    """Sinusoidal diurnal temperature for a field container.
+
+    Attributes
+    ----------
+    mean_c:
+        Daily mean temperature.
+    swing_c:
+        Half peak-to-trough amplitude.
+    hottest_hour:
+        Hour of day of the temperature maximum (~15:00 typically).
+    """
+
+    mean_c: float = 28.0
+    swing_c: float = 7.0
+    hottest_hour: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.swing_c < 0:
+            raise ValueError("swing_c must be non-negative")
+        if not 0.0 <= self.hottest_hour < 24.0:
+            raise ValueError("hottest_hour must be in [0, 24)")
+
+    def at(self, hour_of_day: float) -> float:
+        """Ambient temperature at the given hour of day."""
+        if not 0.0 <= hour_of_day < 24.0:
+            raise ValueError("hour_of_day must be in [0, 24)")
+        phase = 2.0 * math.pi * (hour_of_day - self.hottest_hour) / 24.0
+        return self.mean_c + self.swing_c * math.cos(phase)
+
+    def daily_wear_factor(self, params: ThermalParams | None = None,
+                          samples: int = 48) -> float:
+        """Mean wear multiplier over a full day of this profile.
+
+        Because the Arrhenius law is convex, a swinging temperature wears
+        harder than its mean — the quantitative case for the HVAC line in
+        Figure 22's budget.
+        """
+        if samples < 2:
+            raise ValueError("samples must be >= 2")
+        total = 0.0
+        for i in range(samples):
+            hour = 24.0 * i / samples
+            total += wear_factor(self.at(hour), params)
+        return total / samples

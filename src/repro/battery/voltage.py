@@ -1,0 +1,49 @@
+"""Terminal voltage model for a lead-acid cabinet.
+
+The open-circuit EMF tracks the *available-well head* of the KiBaM state
+rather than total SoC: under heavy discharge the available well runs ahead
+of the bound well, so the terminal voltage sags beyond the ohmic drop and
+then recovers at rest — reproducing the switch-out / capacity-recovery
+traces in Figures 4(b) and 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.battery.params import VoltageParams
+
+
+class VoltageModel:
+    """Maps electrochemical state and current to terminal voltage."""
+
+    def __init__(self, params: VoltageParams) -> None:
+        params.validate()
+        self.params = params
+
+    def emf(self, available_head: float) -> float:
+        """Open-circuit EMF as a function of the available-well head."""
+        head = min(max(available_head, 0.0), 1.0)
+        p = self.params
+        # Mildly convex profile: lead-acid voltage falls slowly over the
+        # mid range and quickly near empty.
+        shaped = head ** 0.75
+        return p.emf_empty + (p.emf_full - p.emf_empty) * shaped
+
+    def terminal(self, available_head: float, amps: float) -> float:
+        """Terminal voltage at signed current (positive = discharge).
+
+        Charging raises the terminal above EMF; the value is clamped to the
+        absorption setpoint ``v_charge_max`` that a CC/CV charger enforces.
+        """
+        v = self.emf(available_head) - amps * self.params.r_internal_ohm
+        if amps < 0.0:
+            v = min(v, self.params.v_charge_max)
+        return v
+
+    def below_cutoff(self, available_head: float, amps: float) -> bool:
+        """Whether the loaded terminal voltage violates the LVD threshold."""
+        return self.terminal(available_head, amps) < self.params.v_cutoff
+
+    def max_discharge_for_cutoff(self, available_head: float) -> float:
+        """Largest discharge current keeping the terminal at/above cutoff."""
+        headroom = self.emf(available_head) - self.params.v_cutoff
+        return max(0.0, headroom / self.params.r_internal_ohm)

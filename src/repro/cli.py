@@ -1,0 +1,192 @@
+"""Command-line interface.
+
+Run reproduction experiments without writing code::
+
+    python -m repro day --controller insure --workload video --solar sunny
+    python -m repro compare --workload seismic --mean-w 500
+    python -m repro table 2
+    python -m repro table 7
+    python -m repro plan --gb-per-day 120 --sunshine 0.7 --days 180
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.system import build_system
+from repro.solar.traces import make_day_trace
+from repro.telemetry.analyzer import all_improvements
+from repro.telemetry.metrics import RunSummary
+from repro.workloads import SeismicAnalysis, VideoSurveillance
+
+
+def _make_workload(kind: str):
+    if kind == "video":
+        return VideoSurveillance()
+    if kind == "seismic":
+        return SeismicAnalysis()
+    raise SystemExit(f"unknown workload {kind!r} (expected video|seismic)")
+
+
+def _print_summary(summary: RunSummary) -> None:
+    print(f"uptime                {summary.availability_pct:8.1f} %")
+    print(f"processed             {summary.processed_gb:8.1f} GB")
+    print(f"throughput            {summary.throughput_gb_per_hour:8.2f} GB/h")
+    print(f"mean delay            {summary.mean_delay_minutes:8.1f} min")
+    print(f"load energy           {summary.load_energy_kwh:8.2f} kWh")
+    print(f"effective energy      {summary.effective_energy_kwh:8.2f} kWh")
+    print(f"e-Buffer availability {summary.energy_availability_wh:8.0f} Wh")
+    print(f"projected life        {summary.projected_life_days:8.0f} days")
+    print(f"perf per Ah           {summary.perf_per_ah_gb:8.2f} GB/Ah")
+    print(f"power/VM/on-off ops   {summary.power_ctrl_times:4d} /"
+          f" {summary.vm_ctrl_times:4d} / {summary.on_off_cycles:4d}")
+
+
+def _cmd_day(args: argparse.Namespace) -> int:
+    trace = make_day_trace(args.solar, target_mean_w=args.mean_w, seed=args.seed)
+    system = build_system(trace, _make_workload(args.workload),
+                          controller=args.controller, seed=args.seed,
+                          initial_soc=args.initial_soc)
+    summary = system.run()
+    print(f"{args.controller} / {args.workload} / {args.solar} "
+          f"({args.mean_w:.0f} W avg, seed {args.seed})")
+    print("-" * 44)
+    _print_summary(summary)
+    if args.report:
+        from pathlib import Path
+
+        from repro.telemetry.report import render_summary
+
+        Path(args.report).write_text(render_summary(
+            summary,
+            title=f"{args.controller} / {args.workload} / {args.solar}",
+        ))
+        print(f"\nreport written to {args.report}")
+    if args.trace_csv:
+        from repro.telemetry.io import export_recorder_csv
+
+        export_recorder_csv(system.recorder, args.trace_csv)
+        print(f"trace written to {args.trace_csv}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    summaries = {}
+    for controller in ("insure", "baseline"):
+        trace = make_day_trace(args.solar, target_mean_w=args.mean_w,
+                               seed=args.seed)
+        system = build_system(trace, _make_workload(args.workload),
+                              controller=controller, seed=args.seed,
+                              initial_soc=args.initial_soc)
+        summaries[controller] = system.run()
+    for controller, summary in summaries.items():
+        print(f"\n[{controller}]")
+        _print_summary(summary)
+    print("\nInSURE improvement over baseline:")
+    improvements = all_improvements(summaries["insure"], summaries["baseline"])
+    for metric, value in improvements.items():
+        print(f"  {metric:16s} {value * 100:+7.0f} %")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == 2:
+        from repro.experiments.fixed_config import run_fixed_config
+
+        print("Table 2 — seismic at 2 kWh")
+        for vms in (8, 4):
+            result = run_fixed_config(SeismicAnalysis(arrivals_per_day=()), vms)
+            print(f"  {vms} VM: {result.avg_power_w:6.0f} W  "
+                  f"avail {result.availability * 100:5.1f} %  "
+                  f"{result.throughput_gb_per_hour:5.2f} GB/h")
+    elif args.number == 3:
+        from repro.experiments.fixed_config import run_energy_window
+
+        print("Table 3 — video at 2 kWh")
+        for vms in (8, 6, 4, 2):
+            result = run_energy_window(VideoSurveillance(), vms)
+            print(f"  {vms} VM: {result.avg_power_w:6.0f} W  "
+                  f"delay {result.mean_delay_minutes:6.1f} min  "
+                  f"{result.throughput_gb_per_hour / 60:6.3f} GB/min")
+    elif args.number == 6:
+        from repro.experiments.table6 import format_table6, run_table6
+
+        print(format_table6(run_table6()))
+    elif args.number == 7:
+        from repro.experiments.table7 import efficiency_gains, run_table7
+
+        rows = run_table7()
+        for item in rows:
+            print(f"  {item.benchmark:9s} {item.server:11s} "
+                  f"exe {item.exe_time_s:7.1f} s  {item.avg_power_w:5.0f} W  "
+                  f"{item.gb_per_kwh:8.0f} GB/kWh")
+        gains = efficiency_gains(rows)
+        print("  gains:", {k: round(v, 1) for k, v in gains.items()})
+    else:
+        raise SystemExit(f"table {args.number} not available (use 2, 3, 6 or 7)")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.cost.scaleout import cloud_cost, insitu_cost, pods_required
+
+    years = args.days / 365.0
+    local = insitu_cost(args.gb_per_day, args.sunshine, years)
+    remote = cloud_cost(args.gb_per_day, years)
+    pods = pods_required(args.gb_per_day, args.sunshine)
+    print(f"in-situ: ${local:,.0f} ({pods} pod(s))   cloud: ${remote:,.0f}")
+    if local < remote:
+        print(f"deploy in-situ — saves {100 * (1 - local / remote):.0f}%")
+    else:
+        print(f"use the cloud — in-situ costs {100 * (local / remote - 1):.0f}% more")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="InSURE (ISCA 2015) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_run_options(p):
+        p.add_argument("--workload", default="video", choices=("video", "seismic"))
+        p.add_argument("--solar", default="sunny",
+                       choices=("sunny", "cloudy", "rainy"))
+        p.add_argument("--mean-w", type=float, default=800.0)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--initial-soc", type=float, default=0.55)
+
+    day = sub.add_parser("day", help="run one day and print the report")
+    day.add_argument("--controller", default="insure",
+                     choices=("insure", "baseline"))
+    day.add_argument("--report", help="also write a Markdown report here")
+    day.add_argument("--trace-csv", help="also export the trace channels here")
+    add_run_options(day)
+    day.set_defaults(func=_cmd_day)
+
+    compare = sub.add_parser("compare", help="InSURE vs baseline on one day")
+    add_run_options(compare)
+    compare.set_defaults(func=_cmd_compare)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=(2, 3, 6, 7))
+    table.set_defaults(func=_cmd_table)
+
+    plan = sub.add_parser("plan", help="in-situ vs cloud deployment economics")
+    plan.add_argument("--gb-per-day", type=float, required=True)
+    plan.add_argument("--sunshine", type=float, default=0.7)
+    plan.add_argument("--days", type=float, default=365.0)
+    plan.set_defaults(func=_cmd_plan)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Server cluster substrate.
+
+Models the prototype's compute side: four HP ProLiant rack servers (dual
+Xeon 3.2 GHz; ~450 W peak / ~280 W idle) virtualised under a Xen-style
+hypervisor with two VMs per physical machine.  The pieces the paper's
+power managers manipulate are all here:
+
+* :mod:`repro.cluster.profiles` — server power/performance envelopes,
+  including the low-power Core i7 node of Table 7.
+* :mod:`repro.cluster.server` — per-server state machine with boot /
+  checkpoint-save sequences; each On/Off power cycle costs roughly 15
+  minutes of service interruption, the overhead that makes aggressive VM
+  scaling counter-productive for batch jobs (Table 2).
+* :mod:`repro.cluster.vm` — virtual machine instances with a CPU share.
+* :mod:`repro.cluster.rack` — the rack component: aggregate demand, DVFS
+  duty-cycle actuation, VM-seconds accounting for workloads.
+* :mod:`repro.cluster.allocator` — the node/VM allocator the temporal
+  power manager drives.
+"""
+
+from repro.cluster.allocator import NodeAllocator
+from repro.cluster.profiles import CORE_I7, XEON_DL380, ServerProfile
+from repro.cluster.rack import ServerRack
+from repro.cluster.server import Server, ServerState
+from repro.cluster.storage import StorageArray, StorageReport
+from repro.cluster.vm import VirtualMachine
+
+__all__ = [
+    "CORE_I7",
+    "NodeAllocator",
+    "Server",
+    "ServerRack",
+    "ServerState",
+    "ServerProfile",
+    "StorageArray",
+    "StorageReport",
+    "VirtualMachine",
+    "XEON_DL380",
+]

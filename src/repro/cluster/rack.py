@@ -1,0 +1,129 @@
+"""The server rack simulation component.
+
+Aggregates servers into one schedulable unit: total demand for the power
+bus, total compute-seconds for the workload, and rack-wide actuation
+(duty cycles, emergency shedding).  Emits ``server.on``, ``server.off``,
+``server.crash`` and ``vm.ctrl`` events so Table 6's operation counters
+fall straight out of the event log.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.profiles import XEON_DL380, ServerProfile
+from repro.cluster.server import Server, ServerState
+from repro.cluster.vm import VirtualMachine
+from repro.power.converters import PowerDistributionUnit
+from repro.sim.clock import Clock
+from repro.sim.component import Component
+from repro.sim.events import EventLog
+
+
+class ServerRack(Component):
+    """A rack of identical servers behind one PDU."""
+
+    def __init__(
+        self,
+        name: str = "rack",
+        server_count: int = 4,
+        profile: ServerProfile | None = None,
+        pdu: PowerDistributionUnit | None = None,
+        events: EventLog | None = None,
+    ) -> None:
+        super().__init__(name)
+        if server_count <= 0:
+            raise ValueError("server_count must be positive")
+        self.profile = profile or XEON_DL380
+        self.servers = [Server(f"{name}.pm{i + 1}", self.profile) for i in range(server_count)]
+        self.pdu = pdu or PowerDistributionUnit(ports=max(8, server_count))
+        # Note: an empty EventLog is falsy (it has __len__), so an 'or'
+        # default would silently discard a shared log.
+        self.events = events if events is not None else EventLog()
+        self._vm_counter = 0
+        self.compute_seconds_total = 0.0
+        self._last_compute_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+    @property
+    def vm_capacity(self) -> int:
+        return sum(s.profile.vm_slots for s in self.servers)
+
+    def running_vm_count(self) -> int:
+        return sum(len(s.running_vms()) for s in self.servers)
+
+    def placed_vm_count(self) -> int:
+        return sum(len(s.vms) for s in self.servers)
+
+    def active_servers(self) -> list[Server]:
+        return [s for s in self.servers if s.state is not ServerState.OFF]
+
+    def serving(self) -> bool:
+        """Whether at least one VM is doing useful work right now."""
+        return any(s.running_vms() for s in self.servers)
+
+    def fully_serving(self) -> bool:
+        """Whether every placed VM is running (no boot/save in progress)."""
+        placed = self.placed_vm_count()
+        return placed > 0 and self.running_vm_count() == placed
+
+    # ------------------------------------------------------------------
+    # Actuation (used by the node allocator and the TPM)
+    # ------------------------------------------------------------------
+    def new_vm(self, cpu_share: float = 0.2) -> VirtualMachine:
+        self._vm_counter += 1
+        return VirtualMachine(f"{self.name}.vm{self._vm_counter}", cpu_share)
+
+    def set_duty(self, duty: float, t: float = 0.0) -> None:
+        """Apply a DVFS duty cycle rack-wide (batch-job power capping)."""
+        changed = False
+        for server in self.servers:
+            if abs(server.duty - duty) > 1e-9:
+                server.set_duty(duty)
+                changed = True
+        if changed:
+            self.events.emit(t, "power.duty", self.name, duty=duty)
+
+    def emergency_shed(self, t: float = 0.0) -> int:
+        """Uncontrolled power loss on every powered server."""
+        count = 0
+        for server in self.servers:
+            if server.emergency_off():
+                count += 1
+                self.events.emit(t, "server.crash", server.name)
+        return count
+
+    def graceful_stop_all(self, t: float = 0.0) -> int:
+        """Checkpoint and shut down every powered server."""
+        count = 0
+        for server in self.servers:
+            if server.power_off():
+                count += 1
+                self.events.emit(t, "server.off", server.name)
+                self.events.emit(t, "vm.ctrl", server.name, op="checkpoint",
+                                 vms=len(server.vms))
+        return count
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def step(self, clock: Clock) -> None:
+        self._last_compute_seconds = 0.0
+        for server in self.servers:
+            server.step(clock.dt)
+            self._last_compute_seconds += server.compute_seconds(clock.dt)
+        self.compute_seconds_total += self._last_compute_seconds
+
+    @property
+    def last_compute_seconds(self) -> float:
+        """Useful VM-compute-seconds produced in the latest tick."""
+        return self._last_compute_seconds
+
+    @property
+    def demand_w(self) -> float:
+        """Instantaneous rack power demand including PDU overhead."""
+        loads = [s.power_w for s in self.servers]
+        return self.pdu.draw(loads)
+
+    def total_on_off_cycles(self) -> int:
+        return sum(s.on_off_cycles for s in self.servers)

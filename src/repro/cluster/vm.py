@@ -1,0 +1,51 @@
+"""Virtual machine instances.
+
+A VM is a unit of compute capacity the allocator places on servers and the
+temporal power manager adds/removes for stream workloads.  Its ``cpu_share``
+is the utilisation it contributes to its host when active; the prototype's
+configuration (two VMs at ~0.2 each) puts a busy ProLiant at ~350 W,
+matching Tables 2 and 3.
+"""
+
+from __future__ import annotations
+
+
+class VirtualMachine:
+    """One VM instance.
+
+    Parameters
+    ----------
+    vm_id:
+        Unique identifier.
+    cpu_share:
+        Host utilisation contributed while running, in (0, 1].
+    """
+
+    def __init__(self, vm_id: str, cpu_share: float = 0.2) -> None:
+        if not vm_id:
+            raise ValueError("vm_id must be non-empty")
+        if not 0.0 < cpu_share <= 1.0:
+            raise ValueError(f"cpu_share must be in (0,1], got {cpu_share}")
+        self.vm_id = vm_id
+        self.cpu_share = cpu_share
+        self.running = False
+        #: Set when the VM state was checkpointed (survives host power-off).
+        self.checkpointed = False
+
+    def start(self) -> None:
+        self.running = True
+        self.checkpointed = False
+
+    def checkpoint(self) -> None:
+        """Save state and stop (graceful suspend)."""
+        self.running = False
+        self.checkpointed = True
+
+    def crash(self) -> None:
+        """Uncontrolled stop: state is lost, not checkpointed."""
+        self.running = False
+        self.checkpointed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self.running else ("saved" if self.checkpointed else "stopped")
+        return f"VirtualMachine({self.vm_id!r}, {state})"

@@ -1,0 +1,149 @@
+"""Shared machinery for InSURE and baseline power managers.
+
+A power manager is a simulation component that, each control period,
+reads the sensed plant state and actuates three things: battery modes
+(through the relay switch network), the VM allocation, and the rack's
+DVFS duty cycle.  The InSURE and baseline controllers differ only in the
+*policies* driving those actuations.
+"""
+
+from __future__ import annotations
+
+from repro.battery.bank import BatteryBank
+from repro.battery.unit import BatteryMode, BatteryUnit
+from repro.cluster.allocator import NodeAllocator
+from repro.cluster.rack import ServerRack
+from repro.core.modes import ModeTransition, bus_for_mode
+from repro.core.sensing import BatteryTelemetry
+from repro.power.relays import SwitchNetwork
+from repro.sim.clock import Clock
+from repro.sim.component import Component
+from repro.sim.events import EventLog
+from repro.workloads.base import Workload
+
+#: Power drawn by one VM's share of a busy ProLiant (350 W / 2 VMs).
+DEFAULT_PER_VM_W = 175.0
+
+
+class PowerSource:
+    """Minimal protocol for power sources (duck-typed)."""
+
+    available_power_w: float
+
+
+class PowerManager(Component):
+    """Base class for supply/load coordinating controllers.
+
+    Parameters
+    ----------
+    name:
+        Component name.
+    bank / switchnet / telemetry:
+        The e-Buffer, its relay network, and the sensing chain.
+    rack / allocator / workload:
+        The load side.
+    source:
+        Object exposing ``available_power_w`` (solar field or trace player).
+    events:
+        Event log shared with the rest of the system.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bank: BatteryBank,
+        switchnet: SwitchNetwork,
+        telemetry: BatteryTelemetry,
+        rack: ServerRack,
+        allocator: NodeAllocator,
+        workload: Workload,
+        source: PowerSource,
+        events: EventLog,
+        per_vm_w: float = DEFAULT_PER_VM_W,
+        solar_ema_tau_s: float = 120.0,
+    ) -> None:
+        super().__init__(name)
+        self.bank = bank
+        self.switchnet = switchnet
+        self.telemetry = telemetry
+        self.rack = rack
+        self.allocator = allocator
+        self.workload = workload
+        self.source = source
+        self.events = events
+        self.per_vm_w = per_vm_w
+        self.solar_ema_tau_s = solar_ema_tau_s
+        self.solar_ema_w = 0.0
+        #: Slow EMA used for sizing decisions (minutes-scale commitment).
+        self.solar_ema_slow_w = 0.0
+        self.mode_transitions: list[ModeTransition] = []
+        #: Optional PLC-resident switch program (Fig. 12's bottom tier);
+        #: when set, mode changes are *requested* through PLC registers
+        #: and applied by the scan cycle under its safety interlocks.
+        self.plc_program = None
+
+    # ------------------------------------------------------------------
+    # Sensing helpers
+    # ------------------------------------------------------------------
+    def _update_solar_ema(self, dt: float) -> None:
+        alpha = min(1.0, dt / self.solar_ema_tau_s)
+        self.solar_ema_w += alpha * (self.source.available_power_w - self.solar_ema_w)
+        alpha_slow = min(1.0, dt / (self.solar_ema_tau_s * 3.0))
+        self.solar_ema_slow_w += alpha_slow * (
+            self.source.available_power_w - self.solar_ema_slow_w
+        )
+
+    def online_units(self) -> list[BatteryUnit]:
+        return self.bank.in_mode(BatteryMode.STANDBY, BatteryMode.DISCHARGING)
+
+    def usable_online_units(self, soc_floor: float) -> list[BatteryUnit]:
+        floor = soc_floor
+        return [
+            u for u in self.online_units()
+            if self.telemetry.sense(u.name).soc_estimate > floor
+        ]
+
+    # ------------------------------------------------------------------
+    # Actuation helpers
+    # ------------------------------------------------------------------
+    def transition(self, unit: BatteryUnit, to_mode: BatteryMode, reason: str,
+                   t: float) -> bool:
+        """Validated mode change: updates the unit and drives the relays
+        (directly, or as a request to the PLC switch program)."""
+        if unit.mode is to_mode:
+            return False
+        change = ModeTransition(unit.name, unit.mode, to_mode, reason)
+        unit.set_mode(to_mode)
+        if self.plc_program is not None:
+            self.plc_program.request(self.telemetry.plc, unit.name,
+                                     bus_for_mode(to_mode))
+        else:
+            self.switchnet.attach(unit.name, bus_for_mode(to_mode), t)
+        self.mode_transitions.append(change)
+        self.events.emit(t, "buffer.mode", unit.name,
+                         to=to_mode.value, reason=reason)
+        return True
+
+    def checkpoint_and_stop(self, t: float, reason: str) -> None:
+        """Graceful load shedding: durable checkpoint, then power down."""
+        self.workload.checkpoint_all()
+        self.allocator.set_target(0, t)
+        self.rack.graceful_stop_all(t)
+        self.events.emit(t, "load.checkpoint_stop", self.name, reason=reason)
+
+    def supportable_vms(self, battery_power_w: float, preferred: int) -> int:
+        """VM count the current power situation can sustain."""
+        supportable = self.solar_ema_w + battery_power_w
+        return max(0, min(preferred, int(supportable // self.per_vm_w)))
+
+    # ------------------------------------------------------------------
+    # Counters surfaced to the log analysis (Table 6 columns)
+    # ------------------------------------------------------------------
+    @property
+    def power_ctrl_times(self) -> int:
+        """Relay switching operations performed so far."""
+        return self.switchnet.switch_operations
+
+    @property
+    def vm_ctrl_times(self) -> int:
+        return self.allocator.vm_ctrl_ops

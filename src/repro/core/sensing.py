@@ -1,0 +1,152 @@
+"""Battery sensing and state estimation.
+
+The controller's view of the plant, built the way the prototype built it:
+each cabinet's voltage and current transducers are scanned by PLC analog
+modules into input registers; the coordination node reads the registers
+over the Modbus layer and maintains per-battery estimates — coulomb-counted
+state of charge (re-anchored from open-circuit voltage when the cabinet has
+rested) and the aggregated discharge statistic AhT[i] that drives the
+spatial manager's screening (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.battery.bank import BatteryBank
+from repro.battery.unit import BatteryUnit
+from repro.power.modbus import ModbusMaster, decode_fixed
+from repro.power.plc import AnalogInputModule, ProgrammableLogicController
+from repro.power.sensors import CurrentTransducer, VoltageTransducer
+from repro.sim.rng import RandomStreams
+
+#: Register layout: two registers per battery (voltage, current).
+_REGS_PER_BATTERY = 2
+_V_SCALE = 100.0   # 0.01 V resolution
+_I_SCALE = 100.0   # 0.01 A resolution
+
+
+@dataclass
+class BatterySense:
+    """Sensed and estimated state of one cabinet."""
+
+    name: str
+    voltage: float = 0.0
+    current: float = 0.0  # positive = discharging
+    soc_estimate: float = 1.0
+    discharge_ah: float = 0.0  # the SPM usage statistic AhT[i]
+    rest_seconds: float = 0.0
+
+    @property
+    def is_resting(self) -> bool:
+        return abs(self.current) < 0.25
+
+
+class BatteryTelemetry:
+    """Sensing chain: transducers -> PLC registers -> Modbus -> estimates."""
+
+    def __init__(
+        self,
+        bank: BatteryBank,
+        plc: ProgrammableLogicController | None = None,
+        streams: RandomStreams | None = None,
+        initial_soc_known: bool = True,
+        gain_error: float = 0.0,
+    ) -> None:
+        """``gain_error`` injects an uncalibrated-sensor fault: every
+        transducer reads consistently high/low by that fraction."""
+        self.bank = bank
+        self.plc = plc or ProgrammableLogicController(scan_period_s=0.5)
+        streams = streams or RandomStreams(0)
+
+        for index, unit in enumerate(bank):
+            module = AnalogInputModule(
+                base_address=index * _REGS_PER_BATTERY, channels=_REGS_PER_BATTERY
+            )
+            rng_v = streams.stream(f"sense.{unit.name}.v")
+            rng_i = streams.stream(f"sense.{unit.name}.i")
+            v_sensor = VoltageTransducer(self._v_source(unit), rng=rng_v)
+            i_sensor = CurrentTransducer(self._i_source(unit), rng=rng_i)
+            v_sensor.gain = 1.0 + gain_error
+            i_sensor.gain = 1.0 + gain_error
+            module.bind(0, v_sensor, _V_SCALE)
+            module.bind(1, i_sensor, _I_SCALE)
+            self.plc.add_module(module)
+
+        self.master = ModbusMaster(self.plc.slave)
+        self.senses = {
+            unit.name: BatterySense(
+                name=unit.name,
+                soc_estimate=unit.soc if initial_soc_known else 1.0,
+            )
+            for unit in bank
+        }
+
+    @staticmethod
+    def _v_source(unit: BatteryUnit):
+        return lambda: unit.terminal_voltage
+
+    @staticmethod
+    def _i_source(unit: BatteryUnit):
+        return lambda: unit.last_current
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def refresh(self, dt_seconds: float) -> dict[str, BatterySense]:
+        """Read all registers and update estimates for one control period."""
+        if dt_seconds <= 0:
+            raise ValueError("dt_seconds must be positive")
+        count = len(self.bank) * _REGS_PER_BATTERY
+        registers = self.master.read_input(0, count)
+        for index, unit in enumerate(self.bank):
+            sense = self.senses[unit.name]
+            sense.voltage = decode_fixed(registers[index * _REGS_PER_BATTERY], _V_SCALE)
+            sense.current = decode_fixed(registers[index * _REGS_PER_BATTERY + 1], _I_SCALE)
+            self._update_estimates(unit, sense, dt_seconds)
+        return self.senses
+
+    def _update_estimates(self, unit: BatteryUnit, sense: BatterySense,
+                          dt_seconds: float) -> None:
+        capacity = unit.params.capacity_ah
+        delta_ah = sense.current * dt_seconds / 3600.0
+        sense.soc_estimate = min(1.0, max(0.0, sense.soc_estimate - delta_ah / capacity))
+        if sense.current > 0.25:
+            sense.discharge_ah += delta_ah
+
+        # Re-anchor from open-circuit voltage after a sustained rest, the
+        # standard lead-acid practice: OCV is a reliable SoC proxy only at
+        # equilibrium.
+        if sense.is_resting:
+            sense.rest_seconds += dt_seconds
+            if sense.rest_seconds >= 300.0:
+                ocv_soc = self._soc_from_ocv(unit, sense.voltage)
+                sense.soc_estimate = 0.9 * sense.soc_estimate + 0.1 * ocv_soc
+        else:
+            sense.rest_seconds = 0.0
+
+    @staticmethod
+    def _soc_from_ocv(unit: BatteryUnit, voltage: float) -> float:
+        """Invert the EMF curve (valid at rest, where head ~= SoC)."""
+        p = unit.params.voltage
+        frac = (voltage - p.emf_empty) / (p.emf_full - p.emf_empty)
+        frac = min(max(frac, 0.0), 1.0)
+        return frac ** (1.0 / 0.75)
+
+    # ------------------------------------------------------------------
+    # Aggregates the controllers use
+    # ------------------------------------------------------------------
+    def total_discharge_current(self, names: list[str] | None = None) -> float:
+        selected = names if names is not None else list(self.senses)
+        return sum(max(0.0, self.senses[n].current) for n in selected)
+
+    def min_soc(self, names: list[str]) -> float:
+        if not names:
+            return 0.0
+        return min(self.senses[n].soc_estimate for n in names)
+
+    def sense(self, name: str) -> BatterySense:
+        try:
+            return self.senses[name]
+        except KeyError:
+            raise KeyError(f"no telemetry for battery {name!r}") from None

@@ -1,0 +1,262 @@
+"""Full-system assembly.
+
+:func:`build_system` wires a complete in-situ installation — power source,
+battery bank with relay network and sensing, server rack with allocator,
+workload, a power manager (InSURE or baseline) and metric collection — into
+one :class:`InSituSystem` stepped by the simulation engine in a fixed
+causal order:
+
+    source → controller → rack → plant coupler (bus physics) → metrics
+
+The :class:`PlantCoupler` is the physical glue: each tick it resolves the
+power bus and, when the online cabinets cannot cover the demand, emulates
+the power loss (emergency shed + workload crash rollback) before feeding
+the surviving compute-seconds to the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.battery.bank import BatteryBank
+from repro.battery.charger import SolarCharger
+from repro.battery.params import BatteryParams
+from repro.cluster.allocator import NodeAllocator
+from repro.cluster.profiles import ServerProfile
+from repro.cluster.rack import ServerRack
+from repro.core.baseline import BaselineController, BaselineParams
+from repro.core.controller_base import PowerManager
+from repro.core.energy_manager import InsureController, InsureParams
+from repro.core.sensing import BatteryTelemetry
+from repro.power.bus import BusReport, PowerBus
+from repro.power.relays import SwitchNetwork
+from repro.sim.clock import Clock
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+from repro.sim.events import EventLog
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+from repro.solar.field import TracePlayer
+from repro.solar.traces import DayTrace
+from repro.telemetry.metrics import MetricsCollector, RunSummary
+from repro.workloads.base import Workload
+
+#: Shortfall below which the rack rides through (PSU hold-up, DC bus
+#: capacitance and the few-percent slack of nameplate power draws); a
+#: genuine collapse exceeds this immediately.
+_UNSERVED_TOLERANCE_W = 30.0
+_UNSERVED_TOLERANCE_FRACTION = 0.03
+
+
+class PlantCoupler(Component):
+    """Physical coupling of source, buffer and load each tick."""
+
+    def __init__(
+        self,
+        name: str,
+        source,
+        bus: PowerBus,
+        rack: ServerRack,
+        workload: Workload,
+        events: EventLog,
+    ) -> None:
+        super().__init__(name)
+        self.source = source
+        self.bus = bus
+        self.rack = rack
+        self.workload = workload
+        self.events = events
+        self.last_report: BusReport | None = None
+        self.shed_events = 0
+
+    def step(self, clock: Clock) -> None:
+        solar = self.source.available_power_w
+        demand = self.rack.demand_w
+        report = self.bus.resolve(solar, demand, clock.dt)
+        self.last_report = report
+
+        compute = self.rack.last_compute_seconds
+        shed_threshold = max(_UNSERVED_TOLERANCE_W,
+                             _UNSERVED_TOLERANCE_FRACTION * report.demand_w)
+        if report.unserved_w > shed_threshold:
+            # Power collapse: every powered server browns out at once.
+            self.rack.emergency_shed(clock.t)
+            self.workload.on_crash()
+            self.shed_events += 1
+            self.events.emit(clock.t, "power.unserved", self.name,
+                             watts=report.unserved_w)
+            compute = 0.0
+        self.workload.step(clock.t, clock.dt, compute)
+
+
+@dataclass
+class InSituSystem:
+    """Handle bundling every part of an assembled installation."""
+
+    engine: Engine
+    source: Component
+    bank: BatteryBank
+    switchnet: SwitchNetwork
+    telemetry: BatteryTelemetry
+    rack: ServerRack
+    allocator: NodeAllocator
+    workload: Workload
+    controller: PowerManager
+    plant: PlantCoupler
+    metrics: MetricsCollector
+    recorder: TraceRecorder
+    events: EventLog
+
+    def run(self, duration_s: float | None = None) -> RunSummary:
+        """Run for ``duration_s`` (default: the trace length) and summarise."""
+        if duration_s is None:
+            trace = getattr(self.source, "trace", None)
+            if trace is None:
+                raise ValueError("duration_s is required for non-trace sources")
+            duration_s = trace.duration_s
+        self.engine.run(duration_s)
+        return self.metrics.summary()
+
+
+def build_system(
+    trace: DayTrace | None,
+    workload: Workload,
+    controller: Literal["insure", "baseline"] = "insure",
+    battery_count: int = 3,
+    battery_params: BatteryParams | None = None,
+    initial_soc: float = 0.9,
+    initial_socs: list[float] | None = None,
+    server_count: int = 4,
+    server_profile: ServerProfile | None = None,
+    insure_params: InsureParams | None = None,
+    baseline_params: BaselineParams | None = None,
+    dt: float = 5.0,
+    seed: int = 0,
+    trace_every: int = 12,
+    source: Component | None = None,
+    storage_gb: float | None = None,
+    plc_interlocks: bool = False,
+) -> InSituSystem:
+    """Assemble a complete in-situ installation around a solar day trace.
+
+    Parameters
+    ----------
+    trace:
+        Solar power input (see :mod:`repro.solar.traces`).
+    workload:
+        The data-processing workload.
+    controller:
+        ``"insure"`` for the paper's design, ``"baseline"`` for the
+        unified-buffer comparison system.
+    initial_soc:
+        Starting state of charge of every cabinet (``initial_socs`` gives
+        per-cabinet values instead).
+    trace_every:
+        Trace recorder decimation (ticks between samples).
+    source:
+        Override power source component (e.g. a live
+        :class:`~repro.solar.field.SolarField` or a
+        :class:`~repro.solar.field.ConstantSource`); ``trace`` may then
+        be None and ``run`` needs an explicit duration.
+    storage_gb:
+        Attach an on-site raw-data buffer of this capacity; arrivals
+        beyond it overwrite the oldest unprocessed data (counted in the
+        run summary's ``dropped_gb``).  None disables the constraint.
+    plc_interlocks:
+        Route battery mode changes through the PLC-resident switch
+        program (break-before-make, low-voltage lockout) instead of
+        actuating relays directly — the prototype's Fig. 12 hierarchy.
+    """
+    if source is None:
+        if trace is None:
+            raise ValueError("give either a trace or a source component")
+        source = TracePlayer("solar", trace)
+        start_hour = trace.start_hour
+    else:
+        start_hour = trace.start_hour if trace is not None else 7.0
+    engine = Engine(dt=dt, start_hour=start_hour)
+    events = EventLog()
+    streams = RandomStreams(seed)
+
+    bank = BatteryBank.build(count=battery_count, params=battery_params,
+                             soc=initial_soc)
+    if initial_socs is not None:
+        if len(initial_socs) != len(bank):
+            raise ValueError("initial_socs length must match battery_count")
+        for unit, soc in zip(bank, initial_socs):
+            unit.kibam.set_soc(soc)
+    switchnet = SwitchNetwork([u.name for u in bank], events)
+    telemetry = BatteryTelemetry(bank, streams=streams)
+    rack = ServerRack("rack", server_count=server_count, profile=server_profile,
+                      events=events)
+    allocator = NodeAllocator(rack, cpu_share=workload.cpu_share)
+    bus = PowerBus(bank, charger=SolarCharger(), switchnet=switchnet)
+
+    # Sizing constant derived from the actual hardware: the per-VM share
+    # of a fully populated machine's power (a ProLiant gives the paper's
+    # 350 W / 2 VMs = 175 W; a Core i7 node an order of magnitude less).
+    profile = rack.profile
+    per_vm_w = profile.power_at(
+        workload.cpu_share * profile.vm_slots
+    ) / profile.vm_slots
+
+    common = dict(
+        bank=bank, switchnet=switchnet, telemetry=telemetry, rack=rack,
+        allocator=allocator, workload=workload, source=source, events=events,
+        per_vm_w=per_vm_w,
+    )
+    if controller == "insure":
+        manager: PowerManager = InsureController(
+            "insure", params=insure_params, **common
+        )
+    elif controller == "baseline":
+        manager = BaselineController(
+            "baseline", params=baseline_params, **common
+        )
+    else:
+        raise ValueError(f"unknown controller {controller!r}")
+
+    if storage_gb is not None:
+        from repro.cluster.storage import StorageArray
+
+        workload.attach_storage(StorageArray(capacity_gb=storage_gb,
+                                             events=events))
+
+    if plc_interlocks:
+        from repro.core.plc_program import BatterySwitchProgram
+
+        program = BatterySwitchProgram(
+            switchnet, [u.name for u in bank],
+            v_cutoff=bank[0].params.voltage.v_cutoff,
+        )
+        telemetry.plc.set_program(program)
+        manager.plc_program = program
+
+    plant = PlantCoupler("plant", source, bus, rack, workload, events)
+    metrics = MetricsCollector("metrics", bank, rack, workload, manager, plant)
+
+    recorder = TraceRecorder(every=trace_every)
+    recorder.channel("solar_w", lambda: source.available_power_w)
+    recorder.channel("demand_w", lambda: rack.demand_w)
+    recorder.channel("stored_wh", lambda: bank.stored_energy_wh)
+    recorder.channel("mean_voltage", lambda: bank.mean_voltage)
+    recorder.channel("running_vms", lambda: float(rack.running_vm_count()))
+    for unit in bank:
+        recorder.channel(f"{unit.name}.v",
+                         lambda u=unit: u.terminal_voltage)
+        recorder.channel(f"{unit.name}.soc", lambda u=unit: u.soc)
+
+    engine.add(source)
+    engine.add(manager)
+    engine.add(rack)
+    engine.add(plant)
+    engine.add(metrics)
+    engine.observe(recorder)
+
+    return InSituSystem(
+        engine=engine, source=source, bank=bank, switchnet=switchnet,
+        telemetry=telemetry, rack=rack, allocator=allocator, workload=workload,
+        controller=manager, plant=plant, metrics=metrics, recorder=recorder,
+        events=events,
+    )

@@ -1,0 +1,129 @@
+"""Temporal power management (TPM) — Figure 11 of the paper.
+
+Each fine-grained control period the TPM inspects the total discharge
+current of the online battery group.  Above the safety threshold it caps
+load power: batch jobs receive a reduced DVFS duty cycle, stream jobs lose
+VM instances.  Capping lets the KiBaM available well refill during the
+discharge (the recovery effect), avoiding the voltage collapse that forces
+a full switch-out.  When SoC reaches the protection floor, servers are
+checkpointed and the exhausted cabinets go offline (transition 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TemporalAction(enum.Enum):
+    """What the TPM asks the load side to do this period."""
+
+    HOLD = "hold"
+    CAP = "cap"          # reduce duty (batch) or VM count (stream)
+    RELAX = "relax"      # restore duty / VMs
+    CHECKPOINT = "checkpoint"  # SoC floor reached: save state, shut down
+
+
+@dataclass
+class TemporalParams:
+    """TPM tuning knobs."""
+
+    #: Discharge cap per online cabinet, as a C-rate (I_delta in Fig. 11).
+    cap_c_rate: float = 0.30
+    #: Hysteresis: relax only when below this fraction of the cap.
+    relax_fraction: float = 0.6
+    #: SoC floor triggering checkpoint + switch-out (SOC_delta in Fig. 11).
+    soc_floor: float = 0.25
+    #: Duty-cycle actuation for batch jobs.
+    duty_step: float = 0.1
+    duty_min: float = 0.5
+    #: VM-count actuation for stream jobs.
+    vm_step: int = 2
+
+
+@dataclass(frozen=True)
+class TemporalDecision:
+    """Outcome of one TPM evaluation."""
+
+    action: TemporalAction
+    total_discharge_a: float
+    cap_a: float
+    min_soc: float
+
+
+class TemporalPolicy:
+    """Stateless TPM evaluation (actuation lives in the controller)."""
+
+    def __init__(self, params: TemporalParams | None = None,
+                 capacity_ah: float = 35.0) -> None:
+        self.params = params or TemporalParams()
+        if capacity_ah <= 0:
+            raise ValueError("capacity_ah must be positive")
+        self.capacity_ah = capacity_ah
+
+    def cap_amps(self, online_units: int) -> float:
+        """Total safe discharge current for ``online_units`` cabinets."""
+        return self.params.cap_c_rate * self.capacity_ah * max(online_units, 0)
+
+    def evaluate(
+        self,
+        total_discharge_a: float,
+        online_units: int,
+        min_online_soc: float,
+        battery_needed: bool,
+    ) -> TemporalDecision:
+        """One TPM period (the flow chart of Figure 11).
+
+        Parameters
+        ----------
+        total_discharge_a:
+            Sensed total discharge current I_d of the online group.
+        online_units:
+            Cabinets currently on the load bus.
+        min_online_soc:
+            Lowest estimated SoC among them.
+        battery_needed:
+            Whether the load currently depends on battery power at all —
+            with ample solar there is nothing to cap.
+        """
+        if total_discharge_a < 0:
+            raise ValueError("total_discharge_a must be non-negative")
+        p = self.params
+        cap = self.cap_amps(online_units)
+
+        if online_units > 0 and battery_needed and min_online_soc <= p.soc_floor:
+            action = TemporalAction.CHECKPOINT
+        elif online_units > 0 and total_discharge_a > cap:
+            action = TemporalAction.CAP
+        elif total_discharge_a < cap * p.relax_fraction or not battery_needed:
+            action = TemporalAction.RELAX
+        else:
+            action = TemporalAction.HOLD
+
+        return TemporalDecision(
+            action=action,
+            total_discharge_a=total_discharge_a,
+            cap_a=cap,
+            min_soc=min_online_soc,
+        )
+
+    # ------------------------------------------------------------------
+    # Actuation helpers
+    # ------------------------------------------------------------------
+    def next_duty(self, duty: float, action: TemporalAction) -> float:
+        """Duty-cycle actuation for batch jobs (D_last +/- 1 in Fig. 11)."""
+        p = self.params
+        if action is TemporalAction.CAP:
+            return max(p.duty_min, round(duty - p.duty_step, 3))
+        if action is TemporalAction.RELAX:
+            return min(1.0, round(duty + p.duty_step, 3))
+        return duty
+
+    def next_vm_target(self, target: int, preferred: int, action: TemporalAction) -> int:
+        """VM-count actuation for stream jobs (N_vm +/- 1 in Fig. 11)."""
+        p = self.params
+        if action is TemporalAction.CAP:
+            return max(0, target - p.vm_step)
+        if action is TemporalAction.RELAX:
+            return min(preferred, target + p.vm_step)
+        return target

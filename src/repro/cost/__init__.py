@@ -1,0 +1,56 @@
+"""Cost models: the economics of in-situ processing.
+
+Analytic TCO models reproducing the paper's cost analyses:
+
+* :mod:`repro.cost.transfer` — bulk data movement time and cost
+  (Figure 1), including satellite and cellular links.
+* :mod:`repro.cost.energy` — energy-source TCO: diesel generator, fuel
+  cell, and PV + battery (Table 1, Figure 3b) plus the annual
+  depreciation breakdown of Figure 22.
+* :mod:`repro.cost.it` — IT-related TCO of in-situ versus
+  transmit-everything deployments (Figure 3a).
+* :mod:`repro.cost.scaleout` — scale-out versus cloud economics under
+  varying sunshine fraction and data rates (Figures 23-24).
+* :mod:`repro.cost.scenarios` — the five application scenarios of
+  Figure 25 with their data rates, deployment lengths and savings.
+"""
+
+from repro.cost.energy import (
+    DIESEL,
+    FUEL_CELL,
+    SOLAR_BATTERY,
+    EnergySource,
+    annual_depreciation,
+    energy_tco,
+)
+from repro.cost.it import InSituCosts, TransmitCosts, it_tco_timeline
+from repro.cost.scaleout import amortized_scaleout_cost, crossover_rate, tco_vs_data_rate
+from repro.cost.scenarios import SCENARIOS, Scenario, scenario_savings
+from repro.cost.transfer import (
+    LINKS,
+    aws_egress_cost_per_tb,
+    transfer_cost_usd,
+    transfer_hours_per_tb,
+)
+
+__all__ = [
+    "DIESEL",
+    "FUEL_CELL",
+    "InSituCosts",
+    "LINKS",
+    "SCENARIOS",
+    "SOLAR_BATTERY",
+    "Scenario",
+    "TransmitCosts",
+    "EnergySource",
+    "amortized_scaleout_cost",
+    "annual_depreciation",
+    "aws_egress_cost_per_tb",
+    "crossover_rate",
+    "energy_tco",
+    "it_tco_timeline",
+    "scenario_savings",
+    "tco_vs_data_rate",
+    "transfer_cost_usd",
+    "transfer_hours_per_tb",
+]

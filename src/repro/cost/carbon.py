@@ -1,0 +1,93 @@
+"""Carbon footprint of in-situ power options.
+
+The paper's sustainability argument is qualitative ("less carbon
+emissions", "cap the significant IT carbon footprint"); this module makes
+it quantitative with standard lifecycle emission factors so the energy
+options of Figure 3(b)/22 can also be compared in kg CO2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Lifecycle emission factors.
+DIESEL_KG_PER_LITRE = 2.68
+DIESEL_LITRES_PER_KWH = 0.45
+NATURAL_GAS_KG_PER_KWH = 0.23      # fuel-cell feedstock, combustion basis
+GRID_KG_PER_KWH = 0.45             # U.S. average grid intensity
+SOLAR_LIFECYCLE_KG_PER_KWH = 0.045
+BATTERY_EMBODIED_KG_PER_KWH_CAP = 65.0  # lead-acid manufacturing, recycled
+
+
+@dataclass(frozen=True)
+class CarbonFootprint:
+    """Annual footprint of one power option, kg CO2 per year."""
+
+    source: str
+    operational_kg: float
+    embodied_kg: float
+
+    @property
+    def total_kg(self) -> float:
+        return self.operational_kg + self.embodied_kg
+
+
+def diesel_footprint(kwh_per_year: float) -> CarbonFootprint:
+    """Diesel generator: combustion dominates."""
+    if kwh_per_year < 0:
+        raise ValueError("kwh_per_year must be non-negative")
+    litres = kwh_per_year * DIESEL_LITRES_PER_KWH
+    return CarbonFootprint("diesel", operational_kg=litres * DIESEL_KG_PER_LITRE,
+                           embodied_kg=30.0)
+
+
+def fuel_cell_footprint(kwh_per_year: float) -> CarbonFootprint:
+    """Natural-gas fuel cell: cleaner combustion, still fossil."""
+    if kwh_per_year < 0:
+        raise ValueError("kwh_per_year must be non-negative")
+    return CarbonFootprint(
+        "fuel-cell",
+        operational_kg=kwh_per_year * NATURAL_GAS_KG_PER_KWH,
+        embodied_kg=120.0,
+    )
+
+
+def insure_footprint(
+    kwh_per_year: float,
+    battery_capacity_kwh: float = 5.04,
+    battery_life_years: float = 4.0,
+) -> CarbonFootprint:
+    """Solar + battery: lifecycle panel emissions plus battery embodied."""
+    if kwh_per_year < 0:
+        raise ValueError("kwh_per_year must be non-negative")
+    if battery_capacity_kwh <= 0 or battery_life_years <= 0:
+        raise ValueError("battery parameters must be positive")
+    battery_annual = (
+        battery_capacity_kwh * BATTERY_EMBODIED_KG_PER_KWH_CAP / battery_life_years
+    )
+    return CarbonFootprint(
+        "insure",
+        operational_kg=kwh_per_year * SOLAR_LIFECYCLE_KG_PER_KWH,
+        embodied_kg=battery_annual,
+    )
+
+
+def grid_footprint(kwh_per_year: float) -> CarbonFootprint:
+    """The grid-tied comparison the paper's rural sites cannot even have."""
+    if kwh_per_year < 0:
+        raise ValueError("kwh_per_year must be non-negative")
+    return CarbonFootprint("grid", operational_kg=kwh_per_year * GRID_KG_PER_KWH,
+                           embodied_kg=0.0)
+
+
+def annual_comparison(kwh_per_year: float = 3500.0) -> dict[str, CarbonFootprint]:
+    """All options side by side for one prototype-scale installation."""
+    return {
+        fp.source: fp
+        for fp in (
+            insure_footprint(kwh_per_year),
+            fuel_cell_footprint(kwh_per_year),
+            diesel_footprint(kwh_per_year),
+            grid_footprint(kwh_per_year),
+        )
+    }

@@ -1,0 +1,128 @@
+"""Energy-source TCO (Table 1, Figure 3b, Figure 22).
+
+Parameters follow Table 1 of the paper:
+
+* Diesel generator: $370/kW CapEx, 5-year lifetime, $0.40/kWh fuel.
+* Fuel cells: $5/W CapEx, FC stack life 5 years (full system 10),
+  $0.16/kWh natural gas.
+* Solar + battery: panels $2/W (25-year life), batteries $2/Ah with a
+  4-year life; no fuel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergySource:
+    """One on-site generation option.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    capex_usd_per_kw:
+        Up-front cost per kW of capacity.
+    replacement_years:
+        How often the CapEx recurs (equipment lifetime).
+    opex_usd_per_kwh:
+        Fuel / consumables per kWh generated.
+    """
+
+    name: str
+    capex_usd_per_kw: float
+    replacement_years: float
+    opex_usd_per_kwh: float
+
+    def __post_init__(self) -> None:
+        if self.capex_usd_per_kw < 0 or self.opex_usd_per_kwh < 0:
+            raise ValueError("costs must be non-negative")
+        if self.replacement_years <= 0:
+            raise ValueError("replacement_years must be positive")
+
+
+DIESEL = EnergySource("diesel", capex_usd_per_kw=370.0, replacement_years=5.0,
+                      opex_usd_per_kwh=0.40)
+FUEL_CELL = EnergySource("fuel-cell", capex_usd_per_kw=5000.0,
+                         replacement_years=5.0, opex_usd_per_kwh=0.16)
+#: PV panels at $2/W plus battery bank depreciation folded into OpEx below.
+SOLAR_BATTERY = EnergySource("solar-battery", capex_usd_per_kw=2000.0,
+                             replacement_years=25.0, opex_usd_per_kwh=0.0)
+
+#: Battery bank of the prototype: 210 Ah at $2/Ah, 4-year life.
+BATTERY_BANK_AH = 210.0
+BATTERY_USD_PER_AH = 2.0
+BATTERY_LIFE_YEARS = 4.0
+
+
+def energy_tco(
+    source: EnergySource,
+    years: float,
+    capacity_kw: float = 1.6,
+    kwh_per_year: float = 3500.0,
+    include_battery: bool | None = None,
+) -> float:
+    """Cumulative energy-related cost after ``years`` (Figure 3b).
+
+    CapEx recurs at each equipment replacement; the solar option adds
+    battery-bank replacements every four years.
+    """
+    if years <= 0:
+        raise ValueError("years must be positive")
+    if capacity_kw <= 0:
+        raise ValueError("capacity_kw must be positive")
+    if kwh_per_year < 0:
+        raise ValueError("kwh_per_year must be non-negative")
+    import math
+
+    replacements = math.ceil(years / source.replacement_years)
+    capex = replacements * source.capex_usd_per_kw * capacity_kw
+    opex = source.opex_usd_per_kwh * kwh_per_year * years
+    battery = 0.0
+    wants_battery = include_battery if include_battery is not None else (
+        source.name == "solar-battery"
+    )
+    if wants_battery:
+        battery_replacements = math.ceil(years / BATTERY_LIFE_YEARS)
+        battery = battery_replacements * BATTERY_BANK_AH * BATTERY_USD_PER_AH
+    return capex + opex + battery
+
+
+#: Figure 22 component costs (USD, annual depreciation for the prototype).
+_DEPRECIATION_COMMON: dict[str, float] = {
+    "server": 1600.0,
+    "cellular": 240.0,
+    "hvac": 260.0,
+    "pdu": 110.0,
+    "switch": 140.0,
+    "maintenance": 420.0,
+}
+
+_DEPRECIATION_BY_SOURCE: dict[str, dict[str, float]] = {
+    "InSURE": {"battery": 315.0, "pv_panels": 210.0, "inverter": 70.0},
+    "DG": {"generator": 370.0, "fuel": 850.0},
+    "FC": {"generator": 1200.0, "fuel": 220.0},
+}
+
+
+def annual_depreciation(system: str = "InSURE") -> dict[str, float]:
+    """Annual depreciation breakdown per Figure 22.
+
+    Returns component -> USD/year.  DG adds ~20 % over InSURE and FC ~24 %,
+    matching §6.5.
+    """
+    try:
+        specific = _DEPRECIATION_BY_SOURCE[system]
+    except KeyError:
+        raise ValueError(
+            f"unknown system {system!r}; expected one of "
+            f"{sorted(_DEPRECIATION_BY_SOURCE)}"
+        ) from None
+    breakdown = dict(_DEPRECIATION_COMMON)
+    breakdown.update(specific)
+    return breakdown
+
+
+def annual_depreciation_total(system: str = "InSURE") -> float:
+    return sum(annual_depreciation(system).values())

@@ -1,0 +1,159 @@
+"""Scale-out versus cloud economics (Figures 23 and 24).
+
+Figure 23: in places with a lower sunshine fraction, a pod's average
+throughput falls, so meeting a fixed processing demand requires scaling
+the installation out; even so the amortized annual cost beats shipping
+raw data to a cloud over a broadband link.
+
+Figure 24: total cost of ownership over a deployment versus the local
+data generation rate, for a *remote* site whose only backhaul is
+cellular.  Below ~0.9 GB/day the cloud is cheaper (the in-situ CapEx
+dominates); as the rate grows, transmission costs explode and in-situ
+yields up to ~96 % savings at 0.5 TB/day.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cost.transfer import transfer_cost_usd
+
+
+@dataclass(frozen=True)
+class PodConfig:
+    """One InSURE installation size."""
+
+    name: str
+    capex_usd: float
+    annual_opex_usd: float
+    #: Daily processing capability at 100 % sunshine fraction.
+    capacity_gb_per_day: float
+
+    def capacity_at(self, sunshine_fraction: float) -> float:
+        if not 0.0 < sunshine_fraction <= 1.0:
+            raise ValueError("sunshine_fraction must be in (0, 1]")
+        return self.capacity_gb_per_day * sunshine_fraction
+
+    def tco(self, years: float) -> float:
+        if years <= 0:
+            raise ValueError("years must be positive")
+        return self.capex_usd + self.annual_opex_usd * years
+
+
+#: The full prototype: 4 servers behind a 1.6 kW array.
+FULL_POD = PodConfig("full", capex_usd=28_000.0, annual_opex_usd=3_500.0,
+                     capacity_gb_per_day=260.0)
+#: A single-server pod for light data rates.
+MINI_POD = PodConfig("mini", capex_usd=8_000.0, annual_opex_usd=800.0,
+                     capacity_gb_per_day=60.0)
+
+#: Figure 23's cloud comparison assumes a broadband site: egress at bulk
+#: rates plus cloud compute, storage and operations, ~$0.26/GB all-in.
+CLOUD_BROADBAND_USD_PER_GB = 0.26
+#: Cloud compute + storage per GB at a *remote* (cellular) site — the
+#: transfer itself is costed separately through the cellular tariff.
+CLOUD_PROCESS_USD_PER_GB = 0.05
+
+#: Figure 23's fixed processing demand and Figure 24's default horizon.
+FIG23_DATA_RATE_GB_DAY = 240.0
+DEFAULT_YEARS = 3.0
+
+#: Annual amortized cost of one full pod (Figure 22 depreciation + OpEx).
+FULL_POD_ANNUAL_AMORTIZED = 6_900.0
+
+
+def pods_required(data_rate_gb_day: float, sunshine_fraction: float) -> int:
+    """Full pods needed to sustain ``data_rate_gb_day``."""
+    if data_rate_gb_day <= 0:
+        raise ValueError("data_rate_gb_day must be positive")
+    capacity = FULL_POD.capacity_at(sunshine_fraction)
+    return max(1, math.ceil(data_rate_gb_day / capacity))
+
+
+def amortized_scaleout_cost(
+    sunshine_fraction: float,
+    data_rate_gb_day: float = FIG23_DATA_RATE_GB_DAY,
+) -> float:
+    """Figure 23 "Scaling Out Server" bars: amortized USD per year."""
+    pods = pods_required(data_rate_gb_day, sunshine_fraction)
+    return pods * FULL_POD_ANNUAL_AMORTIZED
+
+
+def amortized_cloud_cost(data_rate_gb_day: float = FIG23_DATA_RATE_GB_DAY) -> float:
+    """Figure 23 "Relying on Cloud" bar: amortized USD per year."""
+    if data_rate_gb_day <= 0:
+        raise ValueError("data_rate_gb_day must be positive")
+    return data_rate_gb_day * 365.0 * CLOUD_BROADBAND_USD_PER_GB
+
+
+def cloud_cost(
+    data_rate_gb_day: float,
+    years: float = DEFAULT_YEARS,
+    medium: str = "cellular",
+) -> float:
+    """Remote-site cloud TCO (Figure 24): ship raw data out, process it."""
+    if data_rate_gb_day <= 0:
+        raise ValueError("data_rate_gb_day must be positive")
+    total_gb = data_rate_gb_day * 365.0 * years
+    transfer = transfer_cost_usd(total_gb, medium, include_hardware=True)
+    return transfer + total_gb * CLOUD_PROCESS_USD_PER_GB
+
+
+def insitu_cost(
+    data_rate_gb_day: float,
+    sunshine_fraction: float = 1.0,
+    years: float = DEFAULT_YEARS,
+) -> float:
+    """In-situ TCO at a given data rate (Figure 24 curves).
+
+    Chooses the cheapest pod mix: a mini pod when it suffices, otherwise
+    however many full pods the demand requires.
+    """
+    if data_rate_gb_day <= 0:
+        raise ValueError("data_rate_gb_day must be positive")
+    if data_rate_gb_day <= MINI_POD.capacity_at(sunshine_fraction):
+        return MINI_POD.tco(years)
+    return pods_required(data_rate_gb_day, sunshine_fraction) * FULL_POD.tco(years)
+
+
+def tco_vs_data_rate(
+    rates_gb_day: tuple[float, ...] = (0.5, 5.0, 50.0, 500.0),
+    sunshine_fractions: tuple[float, ...] = (1.0, 0.8, 0.6, 0.4),
+    years: float = DEFAULT_YEARS,
+) -> dict[str, list[float]]:
+    """Figure 24's curve family: cloud plus one in-situ curve per SSF."""
+    curves: dict[str, list[float]] = {
+        "cloud": [cloud_cost(r, years) for r in rates_gb_day]
+    }
+    for ssf in sunshine_fractions:
+        curves[f"insitu-{int(ssf * 100)}%"] = [
+            insitu_cost(r, ssf, years) for r in rates_gb_day
+        ]
+    return curves
+
+
+def crossover_rate(
+    sunshine_fraction: float = 1.0,
+    years: float = DEFAULT_YEARS,
+    lo: float = 0.05,
+    hi: float = 50.0,
+) -> float:
+    """Data rate (GB/day) where in-situ and cloud TCO intersect.
+
+    The paper reports ~0.9 GB/day for the prototype.  Geometric bisection
+    on the cost difference; raises if the bracket does not straddle a
+    crossover.
+    """
+    def diff(rate: float) -> float:
+        return insitu_cost(rate, sunshine_fraction, years) - cloud_cost(rate, years)
+
+    if diff(lo) <= 0 or diff(hi) >= 0:
+        raise ValueError("bracket does not straddle the crossover")
+    for _ in range(80):
+        mid = math.sqrt(lo * hi)
+        if diff(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return math.sqrt(lo * hi)

@@ -1,0 +1,109 @@
+"""Bulk data movement overheads (Figure 1).
+
+Transfer *time* for 1 TB across typical link speeds (Figure 1a) and the
+tiered AWS egress pricing of January 2014 (Figure 1b), plus the satellite
+and cellular transmission costs of §2.1.
+"""
+
+from __future__ import annotations
+
+#: Typical link speeds in megabits per second (Figure 1a's x-axis).
+LINKS: dict[str, float] = {
+    "T1 (1.5 Mbps)": 1.544,
+    "10 Mbps": 10.0,
+    "44.7 Mbps (T3)": 44.736,
+    "100 Mbps": 100.0,
+    "1 Gbps": 1000.0,
+    "10 Gbps": 10000.0,
+}
+
+#: AWS data-transfer-out tiers as of January 2014: (up to TB, $/GB).
+_AWS_TIERS: list[tuple[float, float]] = [
+    (0.00977, 0.0),   # first 10 GB free
+    (10.0, 0.12),
+    (40.0, 0.09),
+    (100.0, 0.07),
+    (350.0, 0.05),
+    (float("inf"), 0.03),
+]
+
+#: §2.1 transmission services.
+SATELLITE_USD_PER_MB = 0.14
+SATELLITE_MONTHLY_USD = 30_000.0
+SATELLITE_HARDWARE_USD = 11_500.0
+CELLULAR_USD_PER_GB = 10.0
+CELLULAR_HARDWARE_USD = 1_000.0
+#: Reference daily volume the $30k/month satellite plan is sized for.
+SATELLITE_PLAN_GB_PER_DAY = 530.0
+
+
+def satellite_plan_monthly_usd(gb_per_day: float) -> float:
+    """Monthly satellite service cost for a committed daily volume.
+
+    Satellite bandwidth is sold in sublinearly-priced tiers (a quarter of
+    the bandwidth does not cost a quarter of the plan); we model the tier
+    price as the reference plan scaled by the 1/4 power of the volume
+    ratio, floored at a minimal service plan.
+    """
+    if gb_per_day <= 0:
+        raise ValueError("gb_per_day must be positive")
+    ratio = min(1.0, gb_per_day / SATELLITE_PLAN_GB_PER_DAY)
+    return max(3_000.0, SATELLITE_MONTHLY_USD * ratio ** 0.25)
+
+
+def transfer_hours_per_tb(mbps: float, efficiency: float = 0.8) -> float:
+    """Hours to move 1 TB over a link of ``mbps`` at a given efficiency.
+
+    Figure 1a: ranges from ~1 day at 100 Mbps to weeks on a T1.
+    """
+    if mbps <= 0:
+        raise ValueError("mbps must be positive")
+    if not 0.0 < efficiency <= 1.0:
+        raise ValueError("efficiency must be in (0, 1]")
+    bits = 1e12 * 8
+    seconds = bits / (mbps * 1e6 * efficiency)
+    return seconds / 3600.0
+
+
+def aws_egress_cost_per_tb(total_tb: float) -> float:
+    """Average $/TB for transferring ``total_tb`` out of AWS (Figure 1b)."""
+    if total_tb <= 0:
+        raise ValueError("total_tb must be positive")
+    remaining = total_tb
+    cost = 0.0
+    prev_limit = 0.0
+    for limit, per_gb in _AWS_TIERS:
+        span = min(remaining, limit - prev_limit)
+        if span <= 0:
+            prev_limit = limit
+            continue
+        cost += span * 1000.0 * per_gb
+        remaining -= span
+        prev_limit = limit
+        if remaining <= 0:
+            break
+    return cost / total_tb
+
+
+def transfer_cost_usd(
+    gb: float,
+    medium: str,
+    months: float = 1.0,
+    include_hardware: bool = False,
+) -> float:
+    """Cost of moving ``gb`` of data over ``medium`` in {"satellite","cellular"}."""
+    if gb < 0:
+        raise ValueError("gb must be non-negative")
+    if months <= 0:
+        raise ValueError("months must be positive")
+    if medium == "satellite":
+        cost = gb * 1000.0 * SATELLITE_USD_PER_MB
+        if include_hardware:
+            cost += SATELLITE_HARDWARE_USD
+        return cost
+    if medium == "cellular":
+        cost = gb * CELLULAR_USD_PER_GB
+        if include_hardware:
+            cost += CELLULAR_HARDWARE_USD
+        return cost
+    raise ValueError(f"unknown medium {medium!r}")

@@ -1,0 +1,89 @@
+"""Full-system evaluation (Figures 20 and 21).
+
+Runs the complete installation on the paper's scaled solar traces
+(1000 W and 500 W average) under InSURE and the baseline, for the batch
+(seismic) and stream (video) case studies, and reports the six-metric
+improvement vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.system import build_system
+from repro.solar.traces import make_day_trace
+from repro.telemetry.analyzer import all_improvements
+from repro.telemetry.metrics import RunSummary
+from repro.workloads import SeismicAnalysis, VideoSurveillance
+
+#: Figures 20-21 solar operating points.
+HIGH_MEAN_W = 1000.0
+LOW_MEAN_W = 500.0
+
+
+@dataclass
+class ComparisonResult:
+    """InSURE vs baseline at one operating point."""
+
+    workload: str
+    solar_mean_w: float
+    insure: RunSummary
+    baseline: RunSummary
+
+    @property
+    def improvements(self) -> dict[str, float]:
+        return all_improvements(self.insure, self.baseline)
+
+
+def _make_workload(kind: str):
+    if kind == "seismic":
+        return SeismicAnalysis()
+    if kind == "video":
+        return VideoSurveillance()
+    raise ValueError(f"unknown workload kind {kind!r}")
+
+
+def run_fullsystem_comparison(
+    workload_kind: str,
+    solar_mean_w: float,
+    seed: int = 1,
+    initial_soc: float = 0.55,
+    dt: float = 5.0,
+) -> ComparisonResult:
+    """One cell of the Figures 20/21 matrix."""
+    profile = "sunny" if solar_mean_w >= 800.0 else "cloudy"
+    results: dict[str, RunSummary] = {}
+    for controller in ("insure", "baseline"):
+        trace = make_day_trace(profile, dt_seconds=dt, seed=seed,
+                               target_mean_w=solar_mean_w)
+        system = build_system(
+            trace,
+            _make_workload(workload_kind),
+            controller=controller,
+            seed=seed,
+            initial_soc=initial_soc,
+            dt=dt,
+        )
+        results[controller] = system.run()
+    return ComparisonResult(
+        workload=workload_kind,
+        solar_mean_w=solar_mean_w,
+        insure=results["insure"],
+        baseline=results["baseline"],
+    )
+
+
+def run_figure20(seed: int = 1) -> dict[str, ComparisonResult]:
+    """Figure 20: in-situ batch job at high and low solar."""
+    return {
+        "high": run_fullsystem_comparison("seismic", HIGH_MEAN_W, seed),
+        "low": run_fullsystem_comparison("seismic", LOW_MEAN_W, seed),
+    }
+
+
+def run_figure21(seed: int = 1) -> dict[str, ComparisonResult]:
+    """Figure 21: in-situ data stream at high and low solar."""
+    return {
+        "high": run_fullsystem_comparison("video", HIGH_MEAN_W, seed),
+        "low": run_fullsystem_comparison("video", LOW_MEAN_W, seed),
+    }

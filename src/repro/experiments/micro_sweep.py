@@ -1,0 +1,109 @@
+"""Micro-benchmark sweep (Figures 17, 18 and 19).
+
+For each of the six kernels on the figures' x-axes and the two Figure 15
+solar traces, run InSURE against the unoptimised baseline and report the
+improvement in service availability (Fig. 17), e-Buffer energy
+availability (Fig. 18) and expected e-Buffer service life (Fig. 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.system import build_system
+from repro.solar.traces import HIGH_TRACE_MEAN_W, LOW_TRACE_MEAN_W, make_day_trace
+from repro.telemetry.analyzer import improvement
+from repro.telemetry.metrics import RunSummary
+from repro.workloads.micro import FIGURE17_BENCHMARKS, MicroWorkload
+
+
+@dataclass
+class MicroComparison:
+    """InSURE vs baseline for one benchmark at one solar level."""
+
+    benchmark: str
+    solar_level: str
+    insure: RunSummary
+    baseline: RunSummary
+
+    @property
+    def availability_improvement(self) -> float:
+        """Figure 17's bar."""
+        return improvement(self.insure.uptime_fraction,
+                           self.baseline.uptime_fraction)
+
+    @property
+    def energy_availability_improvement(self) -> float:
+        """Figure 18's bar."""
+        return improvement(self.insure.energy_availability_wh,
+                           self.baseline.energy_availability_wh)
+
+    @property
+    def service_life_improvement(self) -> float:
+        """Figure 19's bar."""
+        return improvement(self.insure.projected_life_days,
+                           self.baseline.projected_life_days)
+
+
+def run_micro_comparison(
+    benchmark: str,
+    solar_level: str,
+    seed: int = 1,
+    initial_soc: float = 0.55,
+    dt: float = 5.0,
+) -> MicroComparison:
+    """One benchmark x solar-level cell of Figures 17-19."""
+    if solar_level == "high":
+        mean_w, profile = HIGH_TRACE_MEAN_W, "sunny"
+    elif solar_level == "low":
+        mean_w, profile = LOW_TRACE_MEAN_W, "cloudy"
+    else:
+        raise ValueError(f"solar_level must be 'high' or 'low', got {solar_level!r}")
+
+    results: dict[str, RunSummary] = {}
+    for controller in ("insure", "baseline"):
+        trace = make_day_trace(profile, dt_seconds=dt, seed=seed,
+                               target_mean_w=mean_w)
+        system = build_system(
+            trace,
+            MicroWorkload(benchmark),
+            controller=controller,
+            seed=seed,
+            initial_soc=initial_soc,
+            dt=dt,
+        )
+        results[controller] = system.run()
+    return MicroComparison(
+        benchmark=benchmark,
+        solar_level=solar_level,
+        insure=results["insure"],
+        baseline=results["baseline"],
+    )
+
+
+def run_micro_sweep(
+    benchmarks: tuple[str, ...] = FIGURE17_BENCHMARKS,
+    solar_levels: tuple[str, ...] = ("high", "low"),
+    seed: int = 1,
+) -> list[MicroComparison]:
+    """The full Figures 17-19 sweep."""
+    return [
+        run_micro_comparison(benchmark, level, seed=seed)
+        for benchmark in benchmarks
+        for level in solar_levels
+    ]
+
+
+def sweep_averages(comparisons: list[MicroComparison]) -> dict[str, dict[str, float]]:
+    """The figures' "avg." bars, per solar level."""
+    averages: dict[str, dict[str, float]] = {}
+    for level in {c.solar_level for c in comparisons}:
+        subset = [c for c in comparisons if c.solar_level == level]
+        averages[level] = {
+            "availability": sum(c.availability_improvement for c in subset) / len(subset),
+            "energy_availability": sum(
+                c.energy_availability_improvement for c in subset
+            ) / len(subset),
+            "service_life": sum(c.service_life_improvement for c in subset) / len(subset),
+        }
+    return averages

@@ -1,0 +1,169 @@
+"""Power bus: per-tick resolution of solar / battery / server flows.
+
+Order of precedence each tick (matching the prototype's wiring):
+
+1. Solar serves the server load directly (through the DC/DC converter).
+2. Any deficit is drawn from the cabinets attached to the load bus,
+   split across them in proportion to their deliverable current.
+3. Any surplus goes to the charger for the cabinets attached to the
+   charge bus; leftover is curtailed.
+4. If the online cabinets cannot cover the deficit, the shortfall is
+   reported as *unserved* power — the condition that forces emergency
+   load shedding upstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.battery.bank import BatteryBank
+from repro.battery.charger import SolarCharger
+from repro.battery.unit import BatteryMode, BatteryUnit
+from repro.power.converters import DCDCConverter
+from repro.power.relays import SwitchNetwork
+
+
+@dataclass(frozen=True)
+class BusReport:
+    """Outcome of one bus resolution tick (all in watts at the PV bus)."""
+
+    demand_w: float
+    solar_available_w: float
+    solar_to_load_w: float
+    battery_to_load_w: float
+    unserved_w: float
+    charge_power_w: float
+    curtailed_w: float
+
+    @property
+    def served_w(self) -> float:
+        return self.solar_to_load_w + self.battery_to_load_w
+
+    @property
+    def solar_utilisation(self) -> float:
+        """Fraction of the available solar budget put to work."""
+        if self.solar_available_w <= 0:
+            return 0.0
+        return (self.solar_to_load_w + self.charge_power_w) / self.solar_available_w
+
+
+class PowerBus:
+    """Resolves power flows between the solar field, e-Buffer and servers."""
+
+    def __init__(
+        self,
+        bank: BatteryBank,
+        charger: SolarCharger | None = None,
+        converter: DCDCConverter | None = None,
+        switchnet: SwitchNetwork | None = None,
+    ) -> None:
+        """With a ``switchnet``, bus attachment follows the *relay*
+        contacts — the electrical truth — so a stuck relay overrides
+        whatever mode the controller believes a cabinet is in.  Without
+        one, controller modes are trusted directly (unit-test shortcut).
+        """
+        self.bank = bank
+        self.charger = charger or SolarCharger()
+        self.converter = converter or DCDCConverter()
+        self.switchnet = switchnet
+        self.last_report = BusReport(0, 0, 0, 0, 0, 0, 0)
+
+    def _on_load_bus(self) -> list[BatteryUnit]:
+        if self.switchnet is None:
+            return self.bank.in_mode(BatteryMode.DISCHARGING, BatteryMode.STANDBY)
+        return [self.bank.by_name(n) for n in self.switchnet.on_bus("load")]
+
+    def _on_charge_bus(self) -> list[BatteryUnit]:
+        if self.switchnet is None:
+            return self.bank.in_mode(BatteryMode.CHARGING)
+        return [self.bank.by_name(n) for n in self.switchnet.on_bus("charge")]
+
+    def resolve(
+        self,
+        solar_w: float,
+        server_demand_w: float,
+        dt_seconds: float,
+        float_standby: bool = True,
+    ) -> BusReport:
+        """Resolve one tick of power flow; steps every battery exactly once."""
+        if solar_w < 0:
+            raise ValueError("solar_w must be non-negative")
+        if server_demand_w < 0:
+            raise ValueError("server_demand_w must be non-negative")
+
+        demand_bus = self.converter.input_for(server_demand_w) if server_demand_w > 0 else 0.0
+
+        solar_to_load = min(solar_w, demand_bus)
+        deficit = demand_bus - solar_to_load
+        surplus = solar_w - solar_to_load
+
+        # --- Discharge path -------------------------------------------------
+        discharging = self._on_load_bus()
+        battery_to_load = 0.0
+        touched: set[str] = set()
+        if deficit > 0 and discharging:
+            battery_to_load = self._discharge(discharging, deficit, dt_seconds)
+            touched.update(u.name for u in discharging)
+        unserved = max(0.0, deficit - battery_to_load)
+
+        # --- Charge path ----------------------------------------------------
+        charging = self._on_charge_bus()
+        charge_power = 0.0
+        if charging:
+            result = self.charger.step(charging, surplus, dt_seconds)
+            charge_power = result.power_used_w
+            touched.update(u.name for u in charging)
+        curtailed = max(0.0, surplus - charge_power)
+
+        # --- Float / idle ---------------------------------------------------
+        for unit in self.bank:
+            if unit.name in touched:
+                continue
+            if float_standby and unit.mode is BatteryMode.STANDBY and curtailed > 1.0:
+                used = self.charger.float_step([unit], dt_seconds)
+                take = min(used, curtailed)
+                curtailed -= take
+                charge_power += take
+            else:
+                unit.idle(dt_seconds)
+
+        self.last_report = BusReport(
+            demand_w=demand_bus,
+            solar_available_w=solar_w,
+            solar_to_load_w=solar_to_load,
+            battery_to_load_w=battery_to_load,
+            unserved_w=unserved,
+            charge_power_w=charge_power,
+            curtailed_w=curtailed,
+        )
+        return self.last_report
+
+    def _discharge(
+        self,
+        units: list[BatteryUnit],
+        deficit_w: float,
+        dt_seconds: float,
+    ) -> float:
+        """Split ``deficit_w`` across parallel units by deliverable current."""
+        capabilities = []
+        for unit in units:
+            amps = unit.max_discharge_current(dt_seconds)
+            volts = unit.terminal_voltage
+            capabilities.append((unit, amps, volts, amps * volts))
+        total_capability = sum(c[3] for c in capabilities)
+        if total_capability <= 0.0:
+            for unit in units:
+                unit.idle(dt_seconds)
+            return 0.0
+
+        target = min(deficit_w, total_capability)
+        delivered = 0.0
+        for unit, amps, volts, watts in capabilities:
+            share_w = target * (watts / total_capability)
+            if share_w <= 0.0 or volts <= 0.0:
+                unit.idle(dt_seconds)
+                continue
+            request_amps = min(share_w / volts, amps)
+            got_amps = unit.apply_discharge(request_amps, dt_seconds)
+            delivered += got_amps * volts
+        return delivered

@@ -1,0 +1,176 @@
+"""Modbus-style register map and frame codec.
+
+The prototype's control panel spoke Modbus TCP between the PLC and the
+coordination server.  We implement the register abstraction functionally:
+a :class:`ModbusSlave` holds 16-bit holding/input registers, and a
+:class:`ModbusMaster` exchanges encoded frames with it.  Frames carry a
+CRC16 so the codec round-trip is genuinely exercised; scaled fixed-point
+encoding helpers mirror how analog readings are packed into registers.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+class ModbusError(RuntimeError):
+    """Protocol violation: bad CRC, bad function code, or bad address."""
+
+
+def crc16(data: bytes) -> int:
+    """Modbus RTU CRC-16 (polynomial 0xA001)."""
+    crc = 0xFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ 0xA001
+            else:
+                crc >>= 1
+    return crc
+
+
+READ_HOLDING = 0x03
+READ_INPUT = 0x04
+WRITE_SINGLE = 0x06
+WRITE_MULTIPLE = 0x10
+
+
+def encode_fixed(value: float, scale: float = 100.0) -> int:
+    """Pack a float into a signed 16-bit register with fixed-point scale."""
+    raw = round(value * scale)
+    if not -32768 <= raw <= 32767:
+        raise ModbusError(f"value {value} does not fit a 16-bit register at scale {scale}")
+    return raw & 0xFFFF
+
+def decode_fixed(register: int, scale: float = 100.0) -> float:
+    """Unpack a signed 16-bit fixed-point register."""
+    if not 0 <= register <= 0xFFFF:
+        raise ModbusError(f"register value out of range: {register}")
+    raw = register - 0x10000 if register >= 0x8000 else register
+    return raw / scale
+
+
+class ModbusSlave:
+    """A register bank addressed by a unit id (the PLC side)."""
+
+    def __init__(self, unit_id: int = 1, size: int = 256) -> None:
+        if not 0 <= unit_id <= 247:
+            raise ValueError("unit_id must be in [0, 247]")
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.unit_id = unit_id
+        self.holding = [0] * size
+        self.input = [0] * size
+
+    def set_input(self, address: int, value: int) -> None:
+        self._check(address, self.input)
+        self.input[address] = value & 0xFFFF
+
+    def set_holding(self, address: int, value: int) -> None:
+        self._check(address, self.holding)
+        self.holding[address] = value & 0xFFFF
+
+    def get_holding(self, address: int) -> int:
+        self._check(address, self.holding)
+        return self.holding[address]
+
+    def _check(self, address: int, bank: list[int]) -> None:
+        if not 0 <= address < len(bank):
+            raise ModbusError(f"register address out of range: {address}")
+
+    # ------------------------------------------------------------------
+    # Frame handling
+    # ------------------------------------------------------------------
+    def handle(self, frame: bytes) -> bytes:
+        """Process a request frame and return the response frame."""
+        if len(frame) < 4:
+            raise ModbusError("frame too short")
+        body, crc_bytes = frame[:-2], frame[-2:]
+        if struct.unpack("<H", crc_bytes)[0] != crc16(body):
+            raise ModbusError("bad CRC")
+        unit, function = body[0], body[1]
+        if unit != self.unit_id:
+            raise ModbusError(f"wrong unit id {unit}, expected {self.unit_id}")
+
+        if function in (READ_HOLDING, READ_INPUT):
+            address, count = struct.unpack(">HH", body[2:6])
+            bank = self.holding if function == READ_HOLDING else self.input
+            if address + count > len(bank) or count == 0:
+                raise ModbusError("read beyond register bank")
+            values = bank[address:address + count]
+            payload = struct.pack("B", 2 * count) + b"".join(
+                struct.pack(">H", v) for v in values
+            )
+            response = struct.pack("BB", unit, function) + payload
+        elif function == WRITE_SINGLE:
+            address, value = struct.unpack(">HH", body[2:6])
+            self.set_holding(address, value)
+            response = body  # echo per spec
+        elif function == WRITE_MULTIPLE:
+            address, count = struct.unpack(">HH", body[2:6])
+            byte_count = body[6]
+            if byte_count != 2 * count:
+                raise ModbusError("byte count mismatch")
+            for i in range(count):
+                value = struct.unpack(">H", body[7 + 2 * i: 9 + 2 * i])[0]
+                self.set_holding(address + i, value)
+            response = struct.pack("BB", unit, function) + struct.pack(">HH", address, count)
+        else:
+            raise ModbusError(f"unsupported function 0x{function:02x}")
+
+        return response + struct.pack("<H", crc16(response))
+
+
+class ModbusMaster:
+    """The coordination-node side: builds requests, parses responses."""
+
+    def __init__(self, slave: ModbusSlave) -> None:
+        self.slave = slave
+
+    def _transact(self, body: bytes) -> bytes:
+        frame = body + struct.pack("<H", crc16(body))
+        response = self.slave.handle(frame)
+        resp_body, crc_bytes = response[:-2], response[-2:]
+        if struct.unpack("<H", crc_bytes)[0] != crc16(resp_body):
+            raise ModbusError("bad CRC in response")
+        return resp_body
+
+    def read_holding(self, address: int, count: int = 1) -> list[int]:
+        body = struct.pack("BB", self.slave.unit_id, READ_HOLDING) + struct.pack(
+            ">HH", address, count
+        )
+        resp = self._transact(body)
+        byte_count = resp[2]
+        return [
+            struct.unpack(">H", resp[3 + 2 * i: 5 + 2 * i])[0]
+            for i in range(byte_count // 2)
+        ]
+
+    def read_input(self, address: int, count: int = 1) -> list[int]:
+        body = struct.pack("BB", self.slave.unit_id, READ_INPUT) + struct.pack(
+            ">HH", address, count
+        )
+        resp = self._transact(body)
+        byte_count = resp[2]
+        return [
+            struct.unpack(">H", resp[3 + 2 * i: 5 + 2 * i])[0]
+            for i in range(byte_count // 2)
+        ]
+
+    def write_holding(self, address: int, value: int) -> None:
+        body = struct.pack("BB", self.slave.unit_id, WRITE_SINGLE) + struct.pack(
+            ">HH", address, value & 0xFFFF
+        )
+        self._transact(body)
+
+    def write_many(self, address: int, values: list[int]) -> None:
+        if not values:
+            raise ValueError("values must be non-empty")
+        body = (
+            struct.pack("BB", self.slave.unit_id, WRITE_MULTIPLE)
+            + struct.pack(">HH", address, len(values))
+            + struct.pack("B", 2 * len(values))
+            + b"".join(struct.pack(">H", v & 0xFFFF) for v in values)
+        )
+        self._transact(body)

@@ -1,0 +1,102 @@
+"""Programmable logic controller host.
+
+The PLC scans its analog input modules on a fixed cycle, stores readings
+in input registers (fixed-point encoded), and executes a control program
+that may drive the relay network and update holding registers.  The
+coordination node reads those registers over the Modbus layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.power.modbus import ModbusSlave, encode_fixed
+from repro.power.sensors import Transducer
+from repro.sim.clock import Clock
+from repro.sim.component import Component
+
+ControlProgram = Callable[[Clock, "ProgrammableLogicController"], None]
+
+
+class AnalogInputModule:
+    """One PLC extension module mapping transducers to input registers."""
+
+    def __init__(self, base_address: int, channels: int = 4) -> None:
+        if base_address < 0:
+            raise ValueError("base_address must be non-negative")
+        if channels <= 0:
+            raise ValueError("channels must be positive")
+        self.base_address = base_address
+        self.capacity = channels
+        self._channels: list[tuple[int, Transducer, float]] = []
+
+    def bind(self, channel: int, transducer: Transducer, scale: float = 100.0) -> None:
+        """Wire a transducer to a channel slot."""
+        if not 0 <= channel < self.capacity:
+            raise ValueError(f"channel {channel} out of range (0..{self.capacity - 1})")
+        if any(c == channel for c, _, _ in self._channels):
+            raise ValueError(f"channel {channel} already bound")
+        self._channels.append((channel, transducer, scale))
+
+    def scan(self, slave: ModbusSlave) -> None:
+        """Sample every bound channel into the slave's input registers."""
+        for channel, transducer, scale in self._channels:
+            value = transducer.read()
+            slave.set_input(self.base_address + channel, encode_fixed(value, scale))
+
+
+class ProgrammableLogicController(Component):
+    """Scan-cycle PLC with analog modules and an optional control program.
+
+    Parameters
+    ----------
+    name:
+        Component name.
+    scan_period_s:
+        Scan cycle length; readings and program execution happen at this
+        cadence, not every simulation tick.
+    """
+
+    def __init__(
+        self,
+        name: str = "plc",
+        scan_period_s: float = 0.5,
+        unit_id: int = 1,
+    ) -> None:
+        super().__init__(name)
+        if scan_period_s <= 0:
+            raise ValueError("scan_period_s must be positive")
+        self.scan_period_s = scan_period_s
+        self.slave = ModbusSlave(unit_id=unit_id)
+        self.modules: list[AnalogInputModule] = []
+        self.program: ControlProgram | None = None
+        self._since_scan = float("inf")  # force a scan on the first step
+        self.scan_count = 0
+
+    def add_module(self, module: AnalogInputModule) -> AnalogInputModule:
+        for existing in self.modules:
+            overlap = range(
+                max(existing.base_address, module.base_address),
+                min(
+                    existing.base_address + existing.capacity,
+                    module.base_address + module.capacity,
+                ),
+            )
+            if len(overlap) > 0:
+                raise ValueError("analog module register ranges overlap")
+        self.modules.append(module)
+        return module
+
+    def set_program(self, program: ControlProgram) -> None:
+        self.program = program
+
+    def step(self, clock: Clock) -> None:
+        self._since_scan += clock.dt
+        if self._since_scan < self.scan_period_s:
+            return
+        self._since_scan = 0.0
+        self.scan_count += 1
+        for module in self.modules:
+            module.scan(self.slave)
+        if self.program is not None:
+            self.program(clock, self)

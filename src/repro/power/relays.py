@@ -1,0 +1,166 @@
+"""Relay and switch-network models.
+
+Each battery cabinet is managed by a pair of relays — a charging switch and
+a discharging switch — mirroring the prototype's six IDEC RR2P 24 V DC
+relays.  The relays have finite switching time (25 ms) and a rated
+mechanical life (10 M cycles); the switch network enforces that a cabinet
+is never simultaneously on the charge and discharge bus.
+"""
+
+from __future__ import annotations
+
+from repro.sim.events import EventLog
+
+
+class RelayError(RuntimeError):
+    """Raised on electrically unsafe switching requests."""
+
+
+class Relay:
+    """A single relay contact.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"battery-1.charge"``.
+    switching_time_s:
+        Contact travel time; state changes are counted as actuations.
+    rated_cycles:
+        Mechanical life in actuation cycles.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        switching_time_s: float = 0.025,
+        rated_cycles: int = 10_000_000,
+    ) -> None:
+        if switching_time_s < 0:
+            raise ValueError("switching_time_s must be non-negative")
+        if rated_cycles <= 0:
+            raise ValueError("rated_cycles must be positive")
+        self.name = name
+        self.switching_time_s = switching_time_s
+        self.rated_cycles = rated_cycles
+        self.closed = False
+        self.cycles = 0
+        #: Fault injection: a stuck contact ignores coil commands.
+        self.stuck = False
+
+    def set(self, closed: bool) -> bool:
+        """Drive the coil; returns True if the contact state changed."""
+        if self.stuck or closed == self.closed:
+            return False
+        self.closed = closed
+        self.cycles += 1
+        return True
+
+    def force_stick(self) -> None:
+        """Inject a mechanical fault: the contact freezes in place."""
+        self.stuck = True
+
+    def repair(self) -> None:
+        self.stuck = False
+
+    @property
+    def life_fraction_used(self) -> float:
+        return min(1.0, self.cycles / self.rated_cycles)
+
+
+class RelayPair:
+    """The charge/discharge relay pair guarding one battery cabinet."""
+
+    def __init__(self, battery_name: str) -> None:
+        self.battery_name = battery_name
+        self.charge = Relay(f"{battery_name}.charge")
+        self.discharge = Relay(f"{battery_name}.discharge")
+
+    def to_offline(self) -> int:
+        """Open both contacts; returns actuation count."""
+        return int(self.charge.set(False)) + int(self.discharge.set(False))
+
+    def to_charging(self) -> int:
+        """Connect to the charge bus only."""
+        actuations = int(self.discharge.set(False))
+        actuations += int(self.charge.set(True))
+        return actuations
+
+    def to_load(self) -> int:
+        """Connect to the load (discharge) bus only."""
+        actuations = int(self.charge.set(False))
+        actuations += int(self.discharge.set(True))
+        return actuations
+
+    def validate(self) -> None:
+        if self.charge.closed and self.discharge.closed:
+            raise RelayError(
+                f"{self.battery_name}: charge and discharge relays both closed"
+            )
+
+    @property
+    def state(self) -> str:
+        if self.charge.closed:
+            return "charging"
+        if self.discharge.closed:
+            return "load"
+        return "offline"
+
+
+class SwitchNetwork:
+    """All relay pairs plus actuation accounting.
+
+    The network is the PLC's actuator: controllers request per-cabinet bus
+    attachments and the network performs (and counts) the relay actuations,
+    emitting ``relay.switch`` events used for Table 6's "Power Ctrl. Times".
+    """
+
+    def __init__(self, battery_names: list[str], events: EventLog | None = None) -> None:
+        if not battery_names:
+            raise ValueError("need at least one battery")
+        self.pairs = {name: RelayPair(name) for name in battery_names}
+        self.events = events
+        self.total_actuations = 0
+        #: Number of controller-visible switching operations (a mode change
+        #: for one cabinet counts once, however many contacts moved).
+        self.switch_operations = 0
+
+    def attach(self, battery_name: str, bus: str, t: float = 0.0) -> int:
+        """Attach ``battery_name`` to ``bus`` in {"offline","charge","load"}.
+
+        Returns the number of relay actuations performed.
+        """
+        pair = self._pair(battery_name)
+        if bus == "offline":
+            actuations = pair.to_offline()
+        elif bus == "charge":
+            actuations = pair.to_charging()
+        elif bus == "load":
+            actuations = pair.to_load()
+        else:
+            raise ValueError(f"unknown bus {bus!r}")
+        pair.validate()
+        if actuations:
+            self.total_actuations += actuations
+            self.switch_operations += 1
+            if self.events is not None:
+                self.events.emit(t, "relay.switch", battery_name, bus=bus,
+                                 actuations=actuations)
+        return actuations
+
+    def state_of(self, battery_name: str) -> str:
+        return self._pair(battery_name).state
+
+    def on_bus(self, bus: str) -> list[str]:
+        """Names of cabinets currently attached to ``bus``."""
+        mapping = {"charge": "charging", "load": "load", "offline": "offline"}
+        try:
+            state = mapping[bus]
+        except KeyError:
+            raise ValueError(f"unknown bus {bus!r}") from None
+        return [name for name, pair in self.pairs.items() if pair.state == state]
+
+    def _pair(self, battery_name: str) -> RelayPair:
+        try:
+            return self.pairs[battery_name]
+        except KeyError:
+            raise KeyError(f"no relay pair for {battery_name!r}") from None

@@ -1,0 +1,167 @@
+"""Series/parallel battery-array reconfiguration.
+
+Figure 6 of the paper: three power switches (P1, P2, P3) let the PLC wire
+the battery cabinets either in parallel (shared 24 V bus, summed
+ampere-hours) or in series (summed voltage, shared current) — "different
+voltage outputs and ampere-hour ratings to servers".  A higher string
+voltage halves the bus current for the same power, which both reduces
+ohmic distribution losses and moves the DC/DC converter to a more
+efficient operating point.
+
+This module models the electrical consequences of a chosen topology and
+validates its safety rules; the relay actuation itself lives in
+:mod:`repro.power.relays`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.battery.unit import BatteryUnit
+
+
+class Topology(enum.Enum):
+    """Wiring of the cabinets on the output bus."""
+
+    PARALLEL = "parallel"
+    SERIES = "series"
+
+
+class TopologyError(RuntimeError):
+    """Raised for electrically unsafe array configurations."""
+
+
+#: Series strings with SoC spread beyond this are refused: the weakest
+#: cabinet would be over-discharged (it carries the full string current).
+MAX_SERIES_SOC_SPREAD = 0.15
+
+
+@dataclass(frozen=True)
+class ArrayRating:
+    """Electrical rating of a configured array."""
+
+    topology: Topology
+    output_voltage: float
+    capacity_ah: float
+    max_discharge_a: float
+
+    @property
+    def energy_wh(self) -> float:
+        return self.output_voltage * self.capacity_ah
+
+    @property
+    def max_power_w(self) -> float:
+        return self.output_voltage * self.max_discharge_a
+
+
+class ReconfigurableArray:
+    """P1/P2/P3-style topology selection over a set of cabinets."""
+
+    def __init__(self, units: list[BatteryUnit]) -> None:
+        if not units:
+            raise ValueError("an array needs at least one cabinet")
+        voltages = {u.params.nominal_voltage for u in units}
+        if len(voltages) != 1:
+            raise TopologyError(
+                f"cabinets have mixed nominal voltages: {sorted(voltages)}"
+            )
+        capacities = {u.params.capacity_ah for u in units}
+        if len(capacities) != 1:
+            raise TopologyError(
+                f"cabinets have mixed capacities: {sorted(capacities)}"
+            )
+        self.units = list(units)
+        self.topology = Topology.PARALLEL
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def configure(self, topology: Topology, dt_seconds: float = 5.0) -> ArrayRating:
+        """Select a topology; validates and returns the resulting rating."""
+        if topology is Topology.SERIES:
+            socs = [u.soc for u in self.units]
+            spread = max(socs) - min(socs)
+            if spread > MAX_SERIES_SOC_SPREAD:
+                raise TopologyError(
+                    f"series string refused: SoC spread {spread:.2f} exceeds "
+                    f"{MAX_SERIES_SOC_SPREAD} (weakest cabinet would be "
+                    "over-discharged)"
+                )
+        self.topology = topology
+        return self.rating(dt_seconds)
+
+    def rating(self, dt_seconds: float = 5.0) -> ArrayRating:
+        """Electrical rating under the current topology."""
+        nominal = self.units[0].params.nominal_voltage
+        per_unit_cap = self.units[0].params.capacity_ah
+        per_unit_max_a = min(
+            u.max_discharge_current(dt_seconds) for u in self.units
+        )
+        if self.topology is Topology.PARALLEL:
+            return ArrayRating(
+                topology=self.topology,
+                output_voltage=nominal,
+                capacity_ah=per_unit_cap * len(self.units),
+                max_discharge_a=sum(
+                    u.max_discharge_current(dt_seconds) for u in self.units
+                ),
+            )
+        return ArrayRating(
+            topology=self.topology,
+            output_voltage=nominal * len(self.units),
+            capacity_ah=per_unit_cap,
+            max_discharge_a=per_unit_max_a,
+        )
+
+    # ------------------------------------------------------------------
+    # Electrical consequences
+    # ------------------------------------------------------------------
+    def bus_current_for(self, power_w: float, dt_seconds: float = 5.0) -> float:
+        """Bus current needed to deliver ``power_w`` under this topology."""
+        if power_w < 0:
+            raise ValueError("power_w must be non-negative")
+        rating = self.rating(dt_seconds)
+        if rating.output_voltage <= 0:
+            raise TopologyError("array has no output voltage")
+        return power_w / rating.output_voltage
+
+    def distribution_loss_w(
+        self,
+        power_w: float,
+        wiring_resistance_ohm: float = 0.02,
+        dt_seconds: float = 5.0,
+    ) -> float:
+        """I²R loss in the distribution wiring for a given delivery.
+
+        The series topology's headline benefit: at the same power, a
+        doubled string voltage quarters the wiring loss.
+        """
+        current = self.bus_current_for(power_w, dt_seconds)
+        return current * current * wiring_resistance_ohm
+
+    def preferred_topology_for(self, power_w: float, dt_seconds: float = 5.0) -> Topology:
+        """Topology minimising distribution loss while staying deliverable."""
+        if power_w < 0:
+            raise ValueError("power_w must be non-negative")
+        original = self.topology
+        best: tuple[float, Topology] | None = None
+        try:
+            for topology in (Topology.PARALLEL, Topology.SERIES):
+                try:
+                    self.configure(topology, dt_seconds)
+                except TopologyError:
+                    continue
+                rating = self.rating(dt_seconds)
+                if rating.max_power_w < power_w:
+                    continue
+                loss = self.distribution_loss_w(power_w, dt_seconds=dt_seconds)
+                if best is None or loss < best[0]:
+                    best = (loss, topology)
+        finally:
+            self.topology = original
+        if best is None:
+            raise TopologyError(
+                f"no topology can deliver {power_w:.0f} W from this array"
+            )
+        return best[1]

@@ -1,0 +1,45 @@
+"""Component protocol for the simulation engine.
+
+A component is anything the engine steps once per tick.  Components are
+stepped in registration order, which the experiment assemblies choose so
+that power flows resolve in a fixed causal order each tick:
+
+    solar generation -> controller decisions -> battery/charger physics ->
+    server cluster -> telemetry
+
+Sub-classing :class:`Component` is optional — any object exposing ``name``
+and ``step(clock)`` satisfies the engine — but the base class provides the
+conventional lifecycle hooks.
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import Clock
+
+
+class Component:
+    """Base class for simulation components.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier used in traces, event logs and engine lookups.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("component name must be non-empty")
+        self.name = name
+
+    def start(self, clock: Clock) -> None:
+        """Called once before the first step.  Override as needed."""
+
+    def step(self, clock: Clock) -> None:
+        """Advance the component by one tick.  Override in subclasses."""
+        raise NotImplementedError
+
+    def finish(self, clock: Clock) -> None:
+        """Called once after the final step.  Override as needed."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,106 @@
+"""Fixed-step simulation engine.
+
+The engine owns the clock and a registry of components.  Each tick it steps
+every component in registration order, then fires any per-tick observers
+(used by the trace recorder).  Runs are bounded by a duration and may end
+early via a stop condition (e.g. "battery bank exhausted and no solar").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.sim.clock import Clock
+from repro.sim.component import Component
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Engine:
+    """Steps registered components against a shared clock.
+
+    Parameters
+    ----------
+    dt:
+        Step size in seconds.
+    start_hour:
+        Wall-clock hour of day at ``t == 0``.
+    """
+
+    def __init__(self, dt: float = 1.0, start_hour: float = 7.0) -> None:
+        self.clock = Clock(dt=dt, start_hour=start_hour)
+        self._components: list[Component] = []
+        self._by_name: dict[str, Component] = {}
+        self._observers: list[Callable[[Clock], None]] = []
+        self._stop_conditions: list[Callable[[Clock], bool]] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add(self, component: Component) -> Component:
+        """Register a component; returns it for fluent assembly."""
+        if self._started:
+            raise SimulationError("cannot add components after the run started")
+        if component.name in self._by_name:
+            raise SimulationError(f"duplicate component name: {component.name!r}")
+        self._components.append(component)
+        self._by_name[component.name] = component
+        return component
+
+    def add_all(self, components: Iterable[Component]) -> None:
+        for component in components:
+            self.add(component)
+
+    def get(self, name: str) -> Component:
+        """Look up a registered component by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SimulationError(f"no component named {name!r}") from None
+
+    def observe(self, callback: Callable[[Clock], None]) -> None:
+        """Register a per-tick observer fired after all components step."""
+        self._observers.append(callback)
+
+    def stop_when(self, condition: Callable[[Clock], bool]) -> None:
+        """Register a predicate that ends the run early when it returns True."""
+        self._stop_conditions.append(condition)
+
+    @property
+    def components(self) -> tuple[Component, ...]:
+        return tuple(self._components)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> Clock:
+        """Run for ``duration`` simulated seconds (or until a stop condition).
+
+        Returns the clock so callers can inspect how far the run got.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if not self._components:
+            raise SimulationError("no components registered")
+
+        if not self._started:
+            self._started = True
+            for component in self._components:
+                component.start(self.clock)
+
+        steps = max(1, round(duration / self.clock.dt))
+        for _ in range(steps):
+            for component in self._components:
+                component.step(self.clock)
+            for observer in self._observers:
+                observer(self.clock)
+            self.clock.advance()
+            if any(cond(self.clock) for cond in self._stop_conditions):
+                break
+
+        for component in self._components:
+            component.finish(self.clock)
+        return self.clock

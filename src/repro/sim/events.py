@@ -1,0 +1,71 @@
+"""Timestamped structured event log.
+
+Discrete happenings — relay actuations, VM checkpoints, server power cycles,
+operating-mode transitions — are recorded as events rather than sampled
+channels.  Table 6 of the paper ("Power Ctrl. Times", "On/Off Cycles",
+"VM Ctrl. Times") is computed by counting events of each kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single simulation event.
+
+    Attributes
+    ----------
+    t:
+        Simulation time in seconds.
+    kind:
+        Event category, e.g. ``"relay.switch"`` or ``"vm.checkpoint"``.
+    source:
+        Name of the component that emitted the event.
+    data:
+        Free-form payload.
+    """
+
+    t: float
+    kind: str
+    source: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only event store with simple querying."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def emit(self, t: float, kind: str, source: str, **data: Any) -> Event:
+        event = Event(t=float(t), kind=kind, source=source, data=data)
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        """All events whose kind equals or is prefixed by ``kind``.
+
+        ``of_kind("relay")`` matches ``relay.switch`` and ``relay.fault``.
+        """
+        prefix = kind + "."
+        return [e for e in self._events if e.kind == kind or e.kind.startswith(prefix)]
+
+    def count(self, kind: str) -> int:
+        return len(self.of_kind(kind))
+
+    def between(self, t0: float, t1: float) -> list[Event]:
+        """Events with ``t0 <= t < t1``."""
+        return [e for e in self._events if t0 <= e.t < t1]
+
+    def last(self, kind: str) -> Event | None:
+        matches = self.of_kind(kind)
+        return matches[-1] if matches else None

@@ -1,0 +1,41 @@
+"""Deterministic named random streams.
+
+Every stochastic model (cloud cover, sensor noise, workload jitter) draws
+from its own child generator derived from a single experiment seed and the
+stream's name.  Adding a new consumer therefore never perturbs the draws
+seen by existing consumers, which keeps regression baselines stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class RandomStreams:
+    """Factory of independent, reproducible ``numpy`` generators.
+
+    Parameters
+    ----------
+    seed:
+        Experiment-level seed.  Two factories with the same seed hand out
+        identical streams for identical names.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        if name not in self._streams:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            child_seed = int.from_bytes(digest[:8], "little")
+            self._streams[name] = np.random.default_rng(child_seed)
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Derive a child factory namespaced under ``name``."""
+        digest = hashlib.sha256(f"{self.seed}:ns:{name}".encode()).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "little"))

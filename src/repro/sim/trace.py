@@ -1,0 +1,79 @@
+"""Structured trace recording.
+
+A :class:`TraceRecorder` samples named float channels once per tick (or at a
+configurable decimation) and exposes them as numpy arrays for analysis.  It
+is the software analogue of the prototype's transducer logging: Figures 5,
+14 and 16 of the paper are rendered from exactly this kind of multi-channel
+voltage/power trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.sim.clock import Clock
+
+Sampler = Callable[[], float]
+
+
+class TraceRecorder:
+    """Samples named channels each tick.
+
+    Parameters
+    ----------
+    every:
+        Record once every ``every`` ticks (decimation for long runs).
+    """
+
+    def __init__(self, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = int(every)
+        self._samplers: dict[str, Sampler] = {}
+        self._data: dict[str, list[float]] = {"t": []}
+
+    def channel(self, name: str, sampler: Sampler) -> None:
+        """Register a channel; ``sampler`` is called at record time."""
+        if name == "t":
+            raise ValueError("channel name 't' is reserved for time")
+        if name in self._samplers:
+            raise ValueError(f"duplicate channel: {name!r}")
+        self._samplers[name] = sampler
+        self._data[name] = []
+
+    def channels(self, samplers: Mapping[str, Sampler]) -> None:
+        for name, sampler in samplers.items():
+            self.channel(name, sampler)
+
+    def __call__(self, clock: Clock) -> None:
+        """Observer hook for :meth:`repro.sim.engine.Engine.observe`."""
+        if clock.step_index % self.every:
+            return
+        self._data["t"].append(clock.t)
+        for name, sampler in self._samplers.items():
+            self._data[name].append(float(sampler()))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return np.asarray(self._data[name], dtype=float)
+        except KeyError:
+            raise KeyError(f"no trace channel named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def __len__(self) -> int:
+        return len(self._data["t"])
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(name for name in self._data if name != "t")
+
+    def as_dict(self) -> dict[str, np.ndarray]:
+        """All channels (including time) as numpy arrays."""
+        return {name: np.asarray(vals, dtype=float) for name, vals in self._data.items()}

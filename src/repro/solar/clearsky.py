@@ -1,0 +1,27 @@
+"""Clear-sky global horizontal irradiance.
+
+The Haurwitz model: GHI = 1098 * cos(z) * exp(-0.057 / cos(z)).  It needs
+only the zenith angle and is accurate to a few percent for clear days —
+plenty for reproducing generation *envelopes*.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.solar.geometry import GAINESVILLE_LATITUDE_DEG, cos_zenith
+
+HAURWITZ_SCALE = 1098.0
+HAURWITZ_EXTINCTION = 0.057
+
+
+def clearsky_ghi(
+    hour_of_day: float,
+    day_of_year: int = 172,
+    latitude_deg: float = GAINESVILLE_LATITUDE_DEG,
+) -> float:
+    """Clear-sky GHI in W/m^2 at the given local solar time."""
+    mu = cos_zenith(hour_of_day, day_of_year, latitude_deg)
+    if mu <= 0.0:
+        return 0.0
+    return HAURWITZ_SCALE * mu * math.exp(-HAURWITZ_EXTINCTION / mu)

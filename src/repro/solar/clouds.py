@@ -1,0 +1,112 @@
+"""Stochastic cloud attenuation.
+
+A two-layer model: a slow Markov chain over sky *regimes* (clear, partly
+cloudy, overcast) and, within each regime, a mean-reverting clearness
+process with regime-specific mean, volatility and dwell time.  Partly
+cloudy skies produce the severe minute-scale power fluctuation of Figure
+16's Region E; overcast skies produce the low, flat budget of rainy days.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class CloudRegime(enum.Enum):
+    """Sky condition regimes with characteristic clearness statistics."""
+
+    CLEAR = "clear"
+    PARTLY = "partly"
+    OVERCAST = "overcast"
+
+
+#: Per-regime (mean clearness, clearness volatility per sqrt(hour)).
+_REGIME_STATS: dict[CloudRegime, tuple[float, float]] = {
+    CloudRegime.CLEAR: (0.97, 0.02),
+    CloudRegime.PARTLY: (0.62, 0.45),
+    CloudRegime.OVERCAST: (0.24, 0.08),
+}
+
+#: Mean regime dwell time in hours.
+_REGIME_DWELL_HOURS: dict[CloudRegime, float] = {
+    CloudRegime.CLEAR: 2.5,
+    CloudRegime.PARTLY: 1.0,
+    CloudRegime.OVERCAST: 2.0,
+}
+
+
+class CloudField:
+    """Mean-reverting clearness-index process with regime switching.
+
+    Parameters
+    ----------
+    rng:
+        Random generator (use a named stream from
+        :class:`repro.sim.rng.RandomStreams`).
+    regime_weights:
+        Stationary probabilities of each regime; a sunny day is mostly
+        CLEAR, a rainy day mostly OVERCAST.
+    reversion_per_hour:
+        Mean-reversion speed of the within-regime clearness process.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        regime_weights: dict[CloudRegime, float] | None = None,
+        reversion_per_hour: float = 6.0,
+    ) -> None:
+        if reversion_per_hour <= 0:
+            raise ValueError("reversion_per_hour must be positive")
+        self.rng = rng
+        weights = regime_weights or {
+            CloudRegime.CLEAR: 0.6,
+            CloudRegime.PARTLY: 0.3,
+            CloudRegime.OVERCAST: 0.1,
+        }
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("regime weights must sum to a positive value")
+        self.regime_weights = {k: v / total for k, v in weights.items()}
+        self.reversion_per_hour = reversion_per_hour
+        self.regime = self._draw_regime()
+        self.clearness = _REGIME_STATS[self.regime][0]
+
+    def _draw_regime(self) -> CloudRegime:
+        regimes = list(self.regime_weights)
+        probs = [self.regime_weights[r] for r in regimes]
+        return regimes[int(self.rng.choice(len(regimes), p=probs))]
+
+    def step(self, dt_seconds: float) -> float:
+        """Advance the process and return clearness index in [0.02, 1]."""
+        if dt_seconds <= 0:
+            raise ValueError("dt_seconds must be positive")
+        dt_h = dt_seconds / 3600.0
+
+        # Regime switching as a Poisson clock.
+        dwell = _REGIME_DWELL_HOURS[self.regime]
+        if self.rng.random() < 1.0 - np.exp(-dt_h / dwell):
+            self.regime = self._draw_regime()
+
+        mean, vol = _REGIME_STATS[self.regime]
+        drift = self.reversion_per_hour * (mean - self.clearness) * dt_h
+        shock = vol * np.sqrt(dt_h) * self.rng.standard_normal()
+        self.clearness = float(np.clip(self.clearness + drift + shock, 0.02, 1.0))
+        return self.clearness
+
+    @classmethod
+    def sunny(cls, rng: np.random.Generator) -> "CloudField":
+        return cls(rng, {CloudRegime.CLEAR: 0.85, CloudRegime.PARTLY: 0.13,
+                         CloudRegime.OVERCAST: 0.02})
+
+    @classmethod
+    def cloudy(cls, rng: np.random.Generator) -> "CloudField":
+        return cls(rng, {CloudRegime.CLEAR: 0.25, CloudRegime.PARTLY: 0.55,
+                         CloudRegime.OVERCAST: 0.20})
+
+    @classmethod
+    def rainy(cls, rng: np.random.Generator) -> "CloudField":
+        return cls(rng, {CloudRegime.CLEAR: 0.03, CloudRegime.PARTLY: 0.17,
+                         CloudRegime.OVERCAST: 0.80})

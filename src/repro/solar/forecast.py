@@ -1,0 +1,107 @@
+"""Short-horizon solar forecasting.
+
+The paper's controllers react to the observed budget; its future-work
+discussion points at smarter provisioning.  This module provides two
+standard short-horizon forecasters an in-situ controller can consult:
+
+* :class:`PersistenceForecast` — tomorrow looks like the last few
+  minutes (the standard baseline forecaster).
+* :class:`ClearSkyScaledForecast` — estimate the current *clearness
+  index* against the deterministic clear-sky curve and project it
+  forward along that curve; much better around sunrise/sunset where pure
+  persistence is systematically wrong.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.solar.clearsky import clearsky_ghi
+from repro.solar.geometry import GAINESVILLE_LATITUDE_DEG
+
+
+class PersistenceForecast:
+    """Rolling-mean persistence forecaster.
+
+    Parameters
+    ----------
+    window_s:
+        Averaging window for the current-level estimate.
+    """
+
+    def __init__(self, window_s: float = 600.0) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = window_s
+        self._samples: deque[tuple[float, float]] = deque()
+
+    def observe(self, t: float, power_w: float) -> None:
+        if power_w < 0:
+            raise ValueError("power_w must be non-negative")
+        self._samples.append((t, power_w))
+        while self._samples and self._samples[0][0] < t - self.window_s:
+            self._samples.popleft()
+
+    def predict(self, horizon_s: float) -> float:  # noqa: ARG002 - flat
+        """Forecast mean power over the next ``horizon_s`` seconds."""
+        if not self._samples:
+            return 0.0
+        return sum(p for _, p in self._samples) / len(self._samples)
+
+
+class ClearSkyScaledForecast:
+    """Clearness-index persistence projected along the clear-sky curve.
+
+    Parameters
+    ----------
+    rated_w:
+        Array rating used to convert irradiance to power.
+    start_hour:
+        Wall-clock hour of day at simulation t = 0.
+    """
+
+    def __init__(
+        self,
+        rated_w: float = 1600.0,
+        start_hour: float = 7.0,
+        window_s: float = 600.0,
+        day_of_year: int = 172,
+        latitude_deg: float = GAINESVILLE_LATITUDE_DEG,
+    ) -> None:
+        if rated_w <= 0:
+            raise ValueError("rated_w must be positive")
+        self.rated_w = rated_w
+        self.start_hour = start_hour
+        self.day_of_year = day_of_year
+        self.latitude_deg = latitude_deg
+        self._clearness = PersistenceForecast(window_s)
+        self._last_t = 0.0
+
+    def _clear_sky_power(self, t: float) -> float:
+        hour = (self.start_hour + t / 3600.0) % 24.0
+        ghi = clearsky_ghi(hour, self.day_of_year, self.latitude_deg)
+        return self.rated_w * ghi / 1000.0
+
+    def observe(self, t: float, power_w: float) -> None:
+        if power_w < 0:
+            raise ValueError("power_w must be non-negative")
+        self._last_t = t
+        ceiling = self._clear_sky_power(t)
+        if ceiling > 10.0:
+            clearness = min(power_w / ceiling, 1.3)
+            self._clearness.observe(t, clearness)
+
+    def predict(self, horizon_s: float) -> float:
+        """Forecast mean power over the next ``horizon_s`` seconds."""
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        clearness = self._clearness.predict(horizon_s)
+        # Integrate the clear-sky curve over the horizon in 5-min strides.
+        stride = min(300.0, horizon_s)
+        t = self._last_t
+        total, n = 0.0, 0
+        while t < self._last_t + horizon_s:
+            total += self._clear_sky_power(t) * clearness
+            n += 1
+            t += stride
+        return total / max(n, 1)

@@ -1,0 +1,14 @@
+"""Measurement and log analysis.
+
+:class:`~repro.telemetry.metrics.MetricsCollector` samples the running
+system every tick and produces a :class:`~repro.telemetry.metrics.RunSummary`
+holding every quantity the paper reports: system uptime, data throughput,
+average latency, e-Buffer energy availability, expected service life,
+performance per ampere-hour, effective-vs-total energy usage, control
+operation counts, and battery voltage statistics.
+"""
+
+from repro.telemetry.analyzer import improvement, table6_row
+from repro.telemetry.metrics import MetricsCollector, RunSummary
+
+__all__ = ["MetricsCollector", "RunSummary", "improvement", "table6_row"]

@@ -1,0 +1,69 @@
+"""Log analysis helpers for the paper's comparison tables."""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import RunSummary
+
+
+def improvement(optimised: float, baseline: float, higher_is_better: bool = True) -> float:
+    """Relative improvement of ``optimised`` over ``baseline``.
+
+    For lower-is-better metrics (latency), pass ``higher_is_better=False``
+    and the sign convention still yields positive = improvement.
+    """
+    if baseline == 0:
+        return 0.0 if optimised == 0 else float("inf")
+    delta = (optimised - baseline) / abs(baseline)
+    return delta if higher_is_better else -delta
+
+
+def table6_row(summary: RunSummary) -> dict[str, float | int]:
+    """Project a run summary onto Table 6's columns."""
+    return {
+        "load_kwh": round(summary.load_energy_kwh, 2),
+        "effective_kwh": round(summary.effective_energy_kwh, 2),
+        "power_ctrl_times": summary.power_ctrl_times,
+        "on_off_cycles": summary.on_off_cycles,
+        "vm_ctrl_times": summary.vm_ctrl_times,
+        "min_battery_volt": round(summary.min_battery_voltage, 1),
+        "end_of_day_volt": round(summary.end_battery_voltage, 1),
+        "battery_volt_sigma": round(summary.battery_voltage_sigma, 2),
+    }
+
+
+def service_metrics(summary: RunSummary) -> dict[str, float]:
+    """The service-related metric group of Figures 20-21."""
+    return {
+        "system_uptime": summary.uptime_fraction,
+        "load_perf": summary.throughput_gb_per_hour,
+        "avg_latency_min": summary.mean_delay_minutes,
+    }
+
+
+def system_metrics(summary: RunSummary) -> dict[str, float]:
+    """The system-related metric group of Figures 20-21."""
+    return {
+        "ebuffer_avail_wh": summary.energy_availability_wh,
+        "service_life_days": summary.projected_life_days,
+        "perf_per_ah": summary.perf_per_ah_gb,
+    }
+
+
+def all_improvements(opt: RunSummary, base: RunSummary) -> dict[str, float]:
+    """Figures 20-21: improvement on all six metrics, positive = better."""
+    return {
+        "system_uptime": improvement(opt.uptime_fraction, base.uptime_fraction),
+        "load_perf": improvement(
+            opt.throughput_gb_per_hour, base.throughput_gb_per_hour
+        ),
+        "avg_latency": improvement(
+            opt.mean_delay_minutes, base.mean_delay_minutes, higher_is_better=False
+        ),
+        "ebuffer_avail": improvement(
+            opt.energy_availability_wh, base.energy_availability_wh
+        ),
+        "service_life": improvement(
+            opt.projected_life_days, base.projected_life_days
+        ),
+        "perf_per_ah": improvement(opt.perf_per_ah_gb, base.perf_per_ah_gb),
+    }

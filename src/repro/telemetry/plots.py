@@ -1,0 +1,99 @@
+"""Terminal plotting for traces and summaries.
+
+Field deployments rarely have a display server; these helpers render
+recorder channels as Unicode sparklines and block charts directly in the
+terminal, the way the examples and CLI present a day of operation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int = 48,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Render ``values`` as a fixed-width character sparkline.
+
+    Values are downsampled to ``width`` columns and mapped onto a ten-step
+    intensity ramp between ``lo`` and ``hi`` (auto-ranged when omitted).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return " " * width
+    idx = np.linspace(0, array.size - 1, width).astype(int)
+    array = array[idx]
+    lo = float(array.min()) if lo is None else lo
+    hi = float(array.max()) if hi is None else hi
+    if hi < lo:
+        raise ValueError("hi must be >= lo")
+    span = (hi - lo) or 1.0
+    scaled = ((array - lo) / span * (len(_BLOCKS) - 1)).astype(int)
+    scaled = np.clip(scaled, 0, len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[s] for s in scaled)
+
+
+def bar_chart(
+    items: dict[str, float],
+    width: int = 40,
+    fill: str = "#",
+) -> str:
+    """Horizontal bar chart of labelled values (non-negative)."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if not items:
+        return ""
+    if any(v < 0 for v in items.values()):
+        raise ValueError("bar_chart takes non-negative values")
+    peak = max(items.values()) or 1.0
+    label_width = max(len(k) for k in items)
+    lines = []
+    for key, value in items.items():
+        bar = fill * max(0, round(value / peak * width))
+        lines.append(f"{key:>{label_width}s} | {bar} {value:,.1f}")
+    return "\n".join(lines)
+
+
+def channel_panel(
+    recorder,
+    channels: Sequence[str],
+    width: int = 48,
+    labels: dict[str, str] | None = None,
+) -> str:
+    """Multi-channel dashboard of a trace recorder's data."""
+    labels = labels or {}
+    lines = []
+    name_width = max(len(labels.get(c, c)) for c in channels)
+    for channel in channels:
+        label = labels.get(channel, channel)
+        lines.append(f"{label:>{name_width}s} {sparkline(recorder[channel], width)}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 30,
+) -> str:
+    """Vertical-bar text histogram with bin edges."""
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return "(no data)"
+    counts, edges = np.histogram(array, bins=bins)
+    peak = counts.max() or 1
+    lines = []
+    for count, lo_edge, hi_edge in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * max(0, round(count / peak * width))
+        lines.append(f"[{lo_edge:9.2f}, {hi_edge:9.2f}) | {bar} {count}")
+    return "\n".join(lines)

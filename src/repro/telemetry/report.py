@@ -1,0 +1,106 @@
+"""Markdown run reports.
+
+Renders a :class:`~repro.telemetry.metrics.RunSummary` (optionally with a
+baseline comparison) as a human-readable Markdown document — the artefact
+an operator would file after a day of field operation.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.analyzer import all_improvements
+from repro.telemetry.metrics import RunSummary
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    return f"{value:,.{digits}f}"
+
+
+def render_summary(summary: RunSummary, title: str = "InSURE day report") -> str:
+    """One run as a Markdown document."""
+    lines = [
+        f"# {title}",
+        "",
+        f"Run length: {summary.elapsed_s / 3600.0:.1f} h",
+        "",
+        "## Service",
+        "",
+        "| metric | value |",
+        "|---|---|",
+        f"| uptime | {summary.availability_pct:.1f} % |",
+        f"| data processed | {_fmt(summary.processed_gb, 1)} GB |",
+        f"| throughput | {_fmt(summary.throughput_gb_per_hour)} GB/h |",
+        f"| mean delay | {_fmt(summary.mean_delay_minutes, 1)} min |",
+        f"| data dropped (storage) | {_fmt(summary.dropped_gb, 1)} GB |",
+        "",
+        "## Energy",
+        "",
+        "| metric | value |",
+        "|---|---|",
+        f"| solar available | {_fmt(summary.solar_energy_kwh)} kWh |",
+        f"| solar used | {_fmt(summary.solar_used_kwh)} kWh |",
+        f"| curtailed | {_fmt(summary.curtailed_kwh)} kWh |",
+        f"| server load | {_fmt(summary.load_energy_kwh)} kWh |",
+        f"| effective (useful) | {_fmt(summary.effective_energy_kwh)} kWh "
+        f"({summary.effective_fraction * 100:.0f} % of load) |",
+        "",
+        "## Energy buffer",
+        "",
+        "| metric | value |",
+        "|---|---|",
+        f"| availability (online stored energy) | {_fmt(summary.energy_availability_wh, 0)} Wh |",
+        f"| projected service life | {_fmt(summary.projected_life_days, 0)} days |",
+        f"| performance per Ah | {_fmt(summary.perf_per_ah_gb)} GB/Ah |",
+        f"| total discharge | {_fmt(summary.total_discharge_ah, 1)} Ah "
+        f"(imbalance {_fmt(summary.discharge_imbalance_ah)} Ah) |",
+        f"| minimum voltage | {_fmt(summary.min_battery_voltage)} V |",
+        f"| end-of-run voltage | {_fmt(summary.end_battery_voltage)} V |",
+        "",
+        "## Control activity",
+        "",
+        "| operations | count |",
+        "|---|---|",
+        f"| relay switching | {summary.power_ctrl_times} |",
+        f"| VM control | {summary.vm_ctrl_times} |",
+        f"| server on/off cycles | {summary.on_off_cycles} |",
+        f"| uncontrolled power losses | {summary.crash_count} |",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def render_comparison(
+    insure: RunSummary,
+    baseline: RunSummary,
+    title: str = "InSURE vs baseline",
+) -> str:
+    """Side-by-side comparison with the six-metric improvement vector."""
+    improvements = all_improvements(insure, baseline)
+    lines = [
+        f"# {title}",
+        "",
+        "| metric | InSURE | baseline | improvement |",
+        "|---|---|---|---|",
+        f"| uptime | {insure.availability_pct:.1f} % | "
+        f"{baseline.availability_pct:.1f} % | "
+        f"{improvements['system_uptime'] * 100:+.0f} % |",
+        f"| throughput | {_fmt(insure.throughput_gb_per_hour)} | "
+        f"{_fmt(baseline.throughput_gb_per_hour)} GB/h | "
+        f"{improvements['load_perf'] * 100:+.0f} % |",
+        f"| mean delay | {_fmt(insure.mean_delay_minutes, 1)} | "
+        f"{_fmt(baseline.mean_delay_minutes, 1)} min | "
+        f"{improvements['avg_latency'] * 100:+.0f} % |",
+        f"| e-Buffer availability | {_fmt(insure.energy_availability_wh, 0)} | "
+        f"{_fmt(baseline.energy_availability_wh, 0)} Wh | "
+        f"{improvements['ebuffer_avail'] * 100:+.0f} % |",
+        f"| service life | {_fmt(insure.projected_life_days, 0)} | "
+        f"{_fmt(baseline.projected_life_days, 0)} days | "
+        f"{improvements['service_life'] * 100:+.0f} % |",
+        f"| perf per Ah | {_fmt(insure.perf_per_ah_gb)} | "
+        f"{_fmt(baseline.perf_per_ah_gb)} GB/Ah | "
+        f"{improvements['perf_per_ah'] * 100:+.0f} % |",
+        "",
+        f"InSURE wins {sum(1 for v in improvements.values() if v > 0)} of "
+        f"{len(improvements)} metrics.",
+        "",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Seismic data analysis: intermittent batch jobs.
+
+The oil-exploration case study: a geographical survey of a 225 km² field
+produces 114 GB of micro-seismic test data per acquisition, twice a day.
+Jobs are long-running Madagascar-style velocity analyses — adding VMs
+mid-job is not possible, so the temporal manager actuates DVFS duty
+cycles instead of VM scaling (paper §2.3 and Table 2).
+
+The service rate is calibrated so four VMs sustain ~16.5 GB/hour, the
+paper's measured throughput for the well-matched configuration.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Job, Workload
+
+#: Table 2 calibration: 16.5 GB/hour on 4 VMs at full speed.
+_GB_PER_HOUR_AT_4VM = 16.5
+
+
+class SeismicAnalysis(Workload):
+    """Twice-daily 114 GB batch jobs."""
+
+    gb_per_compute_second = _GB_PER_HOUR_AT_4VM / 4.0 / 3600.0
+    #: The cluster's full configuration; power-aware node adaptation (which
+    #: Table 2 shows is what actually maximises effective throughput) is the
+    #: controller's job, not the workload's.
+    preferred_vms = 8
+    cpu_share = 0.2
+    actuation = "duty"
+    checkpoint_interval_s = 600.0
+
+    def __init__(
+        self,
+        name: str = "seismic",
+        job_size_gb: float = 114.0,
+        arrivals_per_day: tuple[float, ...] = (8.0, 16.0),
+        start_hour: float = 7.0,
+        initial_backlog_jobs: int = 1,
+        deferral_window_s: float = 24 * 3600.0,
+    ) -> None:
+        super().__init__(name)
+        if job_size_gb <= 0:
+            raise ValueError("job_size_gb must be positive")
+        self.job_size_gb = job_size_gb
+        self.arrivals_per_day = tuple(sorted(arrivals_per_day))
+        self.start_hour = start_hour
+        if deferral_window_s <= 0:
+            raise ValueError("deferral_window_s must be positive")
+        self.deferral_window_s = deferral_window_s
+        self._job_counter = 0
+        for _ in range(initial_backlog_jobs):
+            self._push_job(0.0)
+
+    def _push_job(self, t: float) -> None:
+        self._job_counter += 1
+        self.queue.push(Job(
+            f"{self.name}-{self._job_counter}", self.job_size_gb, t,
+            deadline_t=t + self.deferral_window_s,
+        ))
+
+    def _hour_of_day(self, t: float) -> float:
+        return (self.start_hour + t / 3600.0) % 24.0
+
+    def _generate(self, t: float, dt: float) -> None:
+        before = self._hour_of_day(t)
+        after = before + dt / 3600.0  # may exceed 24 within one tick
+        for arrival_hour in self.arrivals_per_day:
+            hit = before <= arrival_hour < after or (
+                after >= 24.0 and arrival_hour < after - 24.0
+            )
+            if hit:
+                self._push_job(t)

@@ -1,0 +1,63 @@
+"""Charger allocation invariants under randomised banks and budgets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery.charger import SolarCharger
+from repro.battery.unit import BatteryUnit
+
+
+@given(
+    socs=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=5),
+    budget=st.floats(0.0, 2000.0),
+    dt=st.sampled_from([1.0, 5.0, 30.0]),
+)
+@settings(max_examples=100, deadline=None)
+def test_charger_step_invariants(socs, budget, dt):
+    units = [BatteryUnit(f"u{i}", soc=s) for i, s in enumerate(socs)]
+    charger = SolarCharger()
+    charges_before = [u.kibam.charge_ah for u in units]
+
+    result = charger.step(units, budget, dt)
+
+    # Never draws more than offered, never reports negative storage.
+    assert 0.0 <= result.power_used_w <= budget + 1e-6
+    assert result.accepted_ah >= 0.0
+    assert 0.0 <= result.utilisation <= 1.0 + 1e-9
+
+    for unit, before in zip(units, charges_before):
+        # Charging never discharges a unit (beyond self-discharge noise)
+        # and never overfills it.
+        assert unit.kibam.charge_ah >= before - 0.01
+        assert unit.soc <= 1.0 + 1e-9
+
+    # Stored charge is bounded by the energy actually drawn, valuing the
+    # charge at the EMF floor (terminal voltage never drops below it).
+    drawn_wh = result.power_used_w * dt / 3600.0
+    stored_wh = result.accepted_ah * units[0].params.voltage.emf_empty
+    assert stored_wh <= drawn_wh + 1e-6
+
+
+@given(
+    soc=st.floats(0.0, 0.85),
+    budget=st.floats(100.0, 1200.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_charging_always_makes_progress_when_possible(soc, budget):
+    """A non-full battery offered a real budget gains charge."""
+    unit = BatteryUnit("u", soc=soc)
+    charger = SolarCharger()
+    before = unit.soc
+    charger.step([unit], budget, 60.0)
+    assert unit.soc > before
+
+
+@given(budget=st.floats(0.0, 30.0))
+@settings(max_examples=30, deadline=None)
+def test_budget_below_overhead_charges_nothing(budget):
+    """A budget that cannot even power one string stores nothing."""
+    charger = SolarCharger(per_string_overhead_w=40.0)
+    unit = BatteryUnit("u", soc=0.5)
+    result = charger.step([unit], budget, 60.0)
+    assert result.accepted_ah == pytest.approx(0.0, abs=1e-9)

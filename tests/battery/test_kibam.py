@@ -1,0 +1,147 @@
+"""KiBaM kinetics: conservation, rate-capacity and recovery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery.kibam import KiBaM
+from repro.battery.params import KiBaMParams
+
+
+def fresh(soc=1.0, c=0.62, k=4.0, capacity=35.0):
+    return KiBaM(capacity, KiBaMParams(c=c, k_per_hour=k), soc=soc)
+
+
+class TestConstruction:
+    def test_initial_wells_equalised(self):
+        model = fresh(soc=0.5)
+        assert model.available_head == pytest.approx(0.5)
+        assert model.bound_head == pytest.approx(0.5)
+        assert model.soc == pytest.approx(0.5)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            KiBaM(0.0, KiBaMParams())
+
+    def test_rejects_bad_soc(self):
+        with pytest.raises(ValueError):
+            fresh(soc=1.5)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            KiBaM(35.0, KiBaMParams(c=1.5))
+        with pytest.raises(ValueError):
+            KiBaM(35.0, KiBaMParams(k_per_hour=-1))
+
+
+class TestDischarge:
+    def test_discharge_reduces_charge(self):
+        model = fresh()
+        model.apply_current(10.0, 3600.0)
+        assert model.charge_ah == pytest.approx(25.0, abs=0.5)
+
+    def test_rate_capacity_effect(self):
+        """High current depresses the available head below total SoC."""
+        model = fresh()
+        model.apply_current(18.0, 600.0)
+        assert model.available_head < model.soc - 0.02
+
+    def test_higher_current_lower_delivered_capacity(self):
+        """Classic Peukert-like behaviour: less Ah deliverable at high rate."""
+        def deliverable(amps):
+            model = fresh()
+            total = 0.0
+            for _ in range(20_000):
+                got = model.apply_current(amps, 5.0)
+                if got < amps * 5.0 / 3600.0 * 0.99:
+                    break
+                total += got
+            return total
+
+        assert deliverable(20.0) < deliverable(6.0)
+
+    def test_empty_available_well_limits_discharge(self):
+        model = fresh(soc=0.02)
+        moved = model.apply_current(30.0, 3600.0)
+        assert moved < 30.0  # could not deliver the full hour at 30 A
+        assert model.y1 == pytest.approx(0.0, abs=1e-9)
+
+    def test_max_discharge_current_honoured(self):
+        model = fresh(soc=0.3)
+        limit = model.max_discharge_current(5.0)
+        moved_ah = model.apply_current(limit, 5.0)
+        assert moved_ah == pytest.approx(limit * 5.0 / 3600.0, rel=1e-6)
+
+
+class TestRecovery:
+    def test_rest_equalises_wells(self):
+        model = fresh()
+        model.apply_current(18.0, 1800.0)
+        depressed = model.available_head
+        for _ in range(360):
+            model.rest(10.0)
+        assert model.available_head > depressed
+        assert model.available_head == pytest.approx(model.bound_head, abs=0.02)
+
+    def test_rest_conserves_charge(self):
+        model = fresh(soc=0.6)
+        before = model.charge_ah
+        for _ in range(100):
+            model.rest(60.0)
+        assert model.charge_ah == pytest.approx(before, rel=1e-9)
+
+
+class TestCharge:
+    def test_charge_increases_soc(self):
+        model = fresh(soc=0.2)
+        model.apply_current(-5.0, 3600.0)
+        assert model.soc == pytest.approx(0.2 + 5.0 / 35.0, abs=0.01)
+
+    def test_available_well_saturates(self):
+        model = fresh(soc=0.95)
+        moved = model.apply_current(-30.0, 3600.0)
+        # Cannot store a full 30 Ah into a nearly full battery.
+        assert -moved < 35.0 * 0.05 + 1.0
+
+    def test_set_soc(self):
+        model = fresh()
+        model.set_soc(0.4)
+        assert model.soc == pytest.approx(0.4)
+        with pytest.raises(ValueError):
+            model.set_soc(-0.1)
+
+
+class TestInvariants:
+    @given(
+        soc=st.floats(0.05, 1.0),
+        amps=st.floats(-8.0, 25.0),
+        steps=st.integers(1, 200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wells_stay_bounded(self, soc, amps, steps):
+        model = fresh(soc=soc)
+        cap = model.capacity_ah
+        for _ in range(steps):
+            model.apply_current(amps, 5.0)
+            assert -1e-9 <= model.y1 <= model.params.c * cap + 1e-9
+            assert -1e-9 <= model.y2 <= (1 - model.params.c) * cap + 1e-9
+
+    @given(
+        soc=st.floats(0.1, 0.9),
+        amps=st.floats(0.1, 20.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_discharge_conservation(self, soc, amps):
+        """Charge removed equals reported moved Ah."""
+        model = fresh(soc=soc)
+        before = model.charge_ah
+        moved = model.apply_current(amps, 60.0)
+        assert before - model.charge_ah == pytest.approx(moved, abs=1e-9)
+
+    @given(soc=st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_rest_never_changes_total(self, soc):
+        model = fresh(soc=soc)
+        before = model.charge_ah
+        model.rest(3600.0)
+        assert model.charge_ah == pytest.approx(before, rel=1e-9, abs=1e-12)

@@ -1,0 +1,85 @@
+"""Parameter validation across every battery parameter class."""
+
+import pytest
+
+from repro.battery.params import (
+    AcceptanceParams,
+    BatteryParams,
+    KiBaMParams,
+    VoltageParams,
+    WearParams,
+)
+
+
+class TestKiBaMParams:
+    def test_defaults_valid(self):
+        KiBaMParams().validate()
+
+    @pytest.mark.parametrize("c", [0.0, 1.0, -0.1, 1.5])
+    def test_c_bounds(self, c):
+        with pytest.raises(ValueError):
+            KiBaMParams(c=c).validate()
+
+
+class TestVoltageParams:
+    def test_defaults_valid(self):
+        VoltageParams().validate()
+
+    def test_absorption_above_emf(self):
+        with pytest.raises(ValueError):
+            VoltageParams(v_charge_max=25.0).validate()
+
+    def test_cutoff_inside_emf_range(self):
+        with pytest.raises(ValueError):
+            VoltageParams(v_cutoff=22.0).validate()
+
+
+class TestWearParams:
+    def test_defaults_valid(self):
+        WearParams().validate()
+
+    def test_positive_lifetime(self):
+        with pytest.raises(ValueError):
+            WearParams(lifetime_ah=0.0).validate()
+        with pytest.raises(ValueError):
+            WearParams(design_life_days=0.0).validate()
+        with pytest.raises(ValueError):
+            WearParams(stress_c_rate=0.0).validate()
+
+
+class TestAcceptanceParams:
+    def test_defaults_valid(self):
+        AcceptanceParams().validate()
+
+    def test_float_below_bulk(self):
+        with pytest.raises(ValueError):
+            AcceptanceParams(float_c_rate=0.5, bulk_c_rate=0.25).validate()
+
+    def test_negative_parasitic(self):
+        with pytest.raises(ValueError):
+            AcceptanceParams(parasitic_amps=-0.1).validate()
+
+
+class TestBatteryParams:
+    def test_defaults_match_prototype(self):
+        params = BatteryParams().validate()
+        # One cabinet: two UB1280s in series.
+        assert params.nominal_voltage == 24.0
+        assert params.capacity_ah == 35.0
+        assert params.energy_wh == pytest.approx(840.0)
+
+    def test_validates_nested(self):
+        with pytest.raises(ValueError):
+            BatteryParams(kibam=KiBaMParams(c=2.0)).validate()
+
+    def test_top_level_bounds(self):
+        with pytest.raises(ValueError):
+            BatteryParams(capacity_ah=0.0).validate()
+        with pytest.raises(ValueError):
+            BatteryParams(nominal_voltage=0.0).validate()
+        with pytest.raises(ValueError):
+            BatteryParams(self_discharge_per_day=-0.1).validate()
+
+    def test_bank_energy_matches_paper(self):
+        """Three cabinets = the prototype's 2.52 kWh e-Buffer."""
+        assert 3 * BatteryParams().energy_wh == pytest.approx(2520.0)

@@ -1,0 +1,79 @@
+"""Temperature effects on the energy buffer."""
+
+import pytest
+
+from repro.battery.thermal import (
+    AmbientProfile,
+    ThermalParams,
+    capacity_factor,
+    wear_factor,
+)
+
+
+class TestCapacityFactor:
+    def test_unity_at_reference_and_above(self):
+        assert capacity_factor(25.0) == 1.0
+        assert capacity_factor(35.0) == 1.0
+
+    def test_cold_derating(self):
+        assert capacity_factor(15.0) == pytest.approx(1.0 - 0.008 * 10)
+
+    def test_floor_in_deep_cold(self):
+        assert capacity_factor(-60.0) == 0.5
+
+    def test_monotone_in_temperature(self):
+        values = [capacity_factor(t) for t in range(-20, 30, 5)]
+        assert values == sorted(values)
+
+
+class TestWearFactor:
+    def test_unity_at_reference_and_below(self):
+        assert wear_factor(25.0) == 1.0
+        assert wear_factor(10.0) == 1.0
+
+    def test_doubles_every_10c(self):
+        assert wear_factor(35.0) == pytest.approx(2.0)
+        assert wear_factor(45.0) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wear_factor(30.0, ThermalParams(arrhenius_doubling_c=0.0))
+        with pytest.raises(ValueError):
+            capacity_factor(30.0, ThermalParams(capacity_slope_per_c=0.0))
+
+
+class TestAmbientProfile:
+    def test_peak_at_hottest_hour(self):
+        profile = AmbientProfile(mean_c=28.0, swing_c=7.0, hottest_hour=15.0)
+        assert profile.at(15.0) == pytest.approx(35.0)
+        assert profile.at(3.0) == pytest.approx(21.0)
+
+    def test_mean_preserved(self):
+        profile = AmbientProfile()
+        samples = [profile.at(h * 0.5) for h in range(48)]
+        assert sum(samples) / len(samples) == pytest.approx(profile.mean_c, abs=0.1)
+
+    def test_convexity_penalty(self):
+        """A swinging day wears harder than a constant day at its mean."""
+        swinging = AmbientProfile(mean_c=30.0, swing_c=8.0)
+        constant = AmbientProfile(mean_c=30.0, swing_c=0.0)
+        assert swinging.daily_wear_factor() > constant.daily_wear_factor()
+
+    def test_hvac_case(self):
+        """Conditioning the container to 25 °C eliminates thermal wear —
+        the quantitative argument for Figure 22's HVAC budget line."""
+        conditioned = AmbientProfile(mean_c=25.0, swing_c=0.0)
+        field = AmbientProfile(mean_c=32.0, swing_c=8.0)
+        assert conditioned.daily_wear_factor() == pytest.approx(1.0)
+        assert field.daily_wear_factor() > 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AmbientProfile(swing_c=-1.0)
+        with pytest.raises(ValueError):
+            AmbientProfile(hottest_hour=25.0)
+        profile = AmbientProfile()
+        with pytest.raises(ValueError):
+            profile.at(24.0)
+        with pytest.raises(ValueError):
+            profile.daily_wear_factor(samples=1)

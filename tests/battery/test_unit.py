@@ -1,0 +1,108 @@
+"""Battery unit: coupled kinetics, voltage, acceptance, wear and modes."""
+
+import pytest
+
+from repro.battery.unit import BatteryMode, BatteryUnit
+
+
+@pytest.fixture
+def unit():
+    return BatteryUnit("test", soc=1.0)
+
+
+class TestObservables:
+    def test_full_battery_voltage(self, unit):
+        assert unit.terminal_voltage == pytest.approx(
+            unit.params.voltage.emf_full, abs=0.05
+        )
+
+    def test_stored_energy(self, unit):
+        assert unit.stored_energy_wh == pytest.approx(35.0 * 24.0)
+
+    def test_is_online_by_mode(self, unit):
+        unit.set_mode(BatteryMode.OFFLINE)
+        assert not unit.is_online()
+        unit.set_mode(BatteryMode.STANDBY)
+        assert unit.is_online()
+        unit.set_mode(BatteryMode.DISCHARGING)
+        assert unit.is_online()
+        unit.set_mode(BatteryMode.CHARGING)
+        assert not unit.is_online()
+
+
+class TestDischarge:
+    def test_delivers_requested_when_capable(self, unit):
+        got = unit.apply_discharge(10.0, 5.0)
+        assert got == pytest.approx(10.0, rel=1e-6)
+        assert unit.last_current == pytest.approx(10.0, rel=1e-6)
+
+    def test_respects_voltage_cutoff(self, unit):
+        # Drain until the cutoff limits current.
+        for _ in range(5000):
+            got = unit.apply_discharge(18.0, 5.0)
+            if got < 17.9:
+                break
+        assert unit.terminal_voltage >= unit.params.voltage.v_cutoff - 0.05
+
+    def test_negative_current_rejected(self, unit):
+        with pytest.raises(ValueError):
+            unit.apply_discharge(-1.0, 5.0)
+
+    def test_wear_recorded(self, unit):
+        unit.apply_discharge(10.0, 3600.0)
+        assert unit.wear.discharge_ah == pytest.approx(10.0, rel=0.01)
+
+
+class TestCharge:
+    def test_charging_raises_soc(self):
+        unit = BatteryUnit("c", soc=0.3)
+        before = unit.soc
+        unit.apply_charge(8.0, 3600.0)
+        assert unit.soc > before
+
+    def test_losses_reduce_stored(self):
+        unit = BatteryUnit("c", soc=0.3)
+        stored = unit.apply_charge(8.0, 5.0)
+        assert stored < 8.0
+
+    def test_full_battery_accepts_little(self):
+        unit = BatteryUnit("c", soc=1.0)
+        stored = unit.apply_charge(8.0, 5.0)
+        assert stored < 1.0
+
+    def test_negative_current_rejected(self, unit):
+        with pytest.raises(ValueError):
+            unit.apply_charge(-1.0, 5.0)
+
+
+class TestIdle:
+    def test_self_discharge_tiny(self, unit):
+        before = unit.soc
+        for _ in range(1000):
+            unit.idle(60.0)  # ~17 hours
+        assert before - unit.soc < 0.002
+
+    def test_idle_resets_last_current(self, unit):
+        unit.apply_discharge(10.0, 5.0)
+        unit.idle(5.0)
+        assert unit.last_current == 0.0
+
+
+class TestCapabilities:
+    def test_max_discharge_positive_when_charged(self, unit):
+        assert unit.max_discharge_current(5.0) > 10.0
+
+    def test_max_discharge_zero_when_empty(self):
+        unit = BatteryUnit("e", soc=0.0)
+        assert unit.max_discharge_current(5.0) == pytest.approx(0.0, abs=0.5)
+
+    def test_max_charge_current_tracks_acceptance(self, unit):
+        assert unit.max_charge_current() == pytest.approx(
+            unit.acceptance.max_current(unit.soc)
+        )
+
+
+class TestModes:
+    def test_set_mode_reports_change(self, unit):
+        assert unit.set_mode(BatteryMode.OFFLINE) is True
+        assert unit.set_mode(BatteryMode.OFFLINE) is False

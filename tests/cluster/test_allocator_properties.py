@@ -1,0 +1,70 @@
+"""Allocator invariants under randomised retarget sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.allocator import NodeAllocator
+from repro.cluster.rack import ServerRack
+from repro.cluster.server import ServerState
+from repro.sim.clock import Clock
+
+
+@given(
+    targets=st.lists(st.integers(0, 8), min_size=1, max_size=12),
+    settle_minutes=st.integers(1, 20),
+)
+@settings(max_examples=60, deadline=None)
+def test_allocator_invariants(targets, settle_minutes):
+    rack = ServerRack(server_count=4)
+    allocator = NodeAllocator(rack)
+    clock = Clock(dt=60.0)
+
+    for target in targets:
+        allocator.set_target(target, clock.t)
+        for _ in range(settle_minutes):
+            rack.step(clock)
+            clock.advance()
+        allocator.sync(clock.t)
+
+        # Invariants that must hold at every instant:
+        # 1. Placement never exceeds slot capacity.
+        for server in rack.servers:
+            assert len(server.vms) <= server.profile.vm_slots
+        # 2. Running VMs only on ON servers.
+        for server in rack.servers:
+            if server.state is not ServerState.ON:
+                assert server.running_vms() == []
+        # 3. Running count never exceeds the target.
+        assert rack.running_vm_count() <= max(targets[: targets.index(target) + 1])
+
+    # After a long settle, the final target is met exactly.
+    final = targets[-1]
+    allocator.sync(clock.t)
+    for _ in range(40):
+        rack.step(clock)
+        clock.advance()
+    allocator.sync(clock.t)
+    for _ in range(40):
+        rack.step(clock)
+        clock.advance()
+    assert rack.running_vm_count() == final
+
+
+@given(targets=st.lists(st.integers(0, 8), min_size=2, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_vm_ctrl_ops_count_only_changes(targets):
+    rack = ServerRack(server_count=4)
+    allocator = NodeAllocator(rack)
+    distinct_changes = sum(
+        1 for previous, current in zip([0] + targets, targets)
+        if previous != current
+    )
+    for target in targets:
+        allocator.set_target(target)
+    # Retarget operations counted exactly once per actual change (other
+    # vm_ctrl ops come from placements, counted separately).
+    retargets = sum(
+        1 for event in rack.events.of_kind("vm.ctrl")
+        if event.data.get("op") == "retarget"
+    )
+    assert retargets == distinct_changes

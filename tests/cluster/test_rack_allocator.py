@@ -1,0 +1,146 @@
+"""Rack aggregation and the node/VM allocator."""
+
+import pytest
+
+from repro.cluster.allocator import NodeAllocator
+from repro.cluster.rack import ServerRack
+from repro.cluster.server import ServerState
+from repro.cluster.vm import VirtualMachine
+from repro.sim.clock import Clock
+
+
+def settle(rack, seconds=1200.0, dt=60.0):
+    clock = Clock(dt=dt)
+    for _ in range(int(seconds / dt)):
+        rack.step(clock)
+        clock.advance()
+    return clock
+
+
+@pytest.fixture
+def rack():
+    return ServerRack(server_count=4)
+
+
+class TestVirtualMachine:
+    def test_lifecycle(self):
+        vm = VirtualMachine("v")
+        vm.start()
+        assert vm.running
+        vm.checkpoint()
+        assert vm.checkpointed and not vm.running
+        vm.start()
+        vm.crash()
+        assert not vm.checkpointed and not vm.running
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VirtualMachine("")
+        with pytest.raises(ValueError):
+            VirtualMachine("v", cpu_share=0.0)
+
+
+class TestRack:
+    def test_capacity(self, rack):
+        assert rack.vm_capacity == 8
+
+    def test_demand_zero_when_off(self, rack):
+        assert rack.demand_w == 0.0
+
+    def test_paper_power_points(self, rack):
+        """8 VMs ~ 1400 W, 4 VMs ~ 700 W (Tables 2 and 3)."""
+        alloc = NodeAllocator(rack)
+        alloc.set_target(8)
+        settle(rack)
+        assert rack.demand_w == pytest.approx(1400.0, abs=30.0)
+        alloc.set_target(4)
+        settle(rack)
+        alloc.sync()
+        settle(rack)
+        assert rack.demand_w == pytest.approx(700.0, abs=30.0)
+
+    def test_compute_seconds_accumulate(self, rack):
+        alloc = NodeAllocator(rack)
+        alloc.set_target(4)
+        settle(rack, seconds=1800.0)
+        assert rack.compute_seconds_total > 0.0
+        assert rack.last_compute_seconds == pytest.approx(4 * 60.0)
+
+    def test_emergency_shed(self, rack):
+        alloc = NodeAllocator(rack)
+        alloc.set_target(8)
+        settle(rack)
+        shed = rack.emergency_shed(0.0)
+        assert shed == 4
+        assert not rack.serving()
+        assert rack.events.count("server.crash") == 4
+
+    def test_graceful_stop_emits_events(self, rack):
+        alloc = NodeAllocator(rack)
+        alloc.set_target(2)
+        settle(rack)
+        stopped = rack.graceful_stop_all(0.0)
+        assert stopped == 1
+        assert rack.events.count("vm.ctrl") > 0
+
+    def test_set_duty_rackwide(self, rack):
+        rack.set_duty(0.7)
+        assert all(s.duty == 0.7 for s in rack.servers)
+        assert rack.events.count("power.duty") == 1
+        rack.set_duty(0.7)  # no change, no event
+        assert rack.events.count("power.duty") == 1
+
+
+class TestAllocator:
+    def test_target_maps_to_servers(self, rack):
+        alloc = NodeAllocator(rack)
+        alloc.set_target(6)
+        powered = [s for s in rack.servers if s.state is not ServerState.OFF]
+        assert len(powered) == 3
+
+    def test_vm_count_converges(self, rack):
+        alloc = NodeAllocator(rack)
+        alloc.set_target(6)
+        settle(rack)
+        assert rack.running_vm_count() == 6
+        assert alloc.running_matches_target()
+
+    def test_scale_down_checkpoints(self, rack):
+        alloc = NodeAllocator(rack)
+        alloc.set_target(8)
+        settle(rack)
+        alloc.set_target(4)
+        settle(rack)
+        alloc.sync()
+        settle(rack)
+        assert rack.running_vm_count() == 4
+        assert rack.total_on_off_cycles() >= 2
+
+    def test_zero_target_powers_everything_off(self, rack):
+        alloc = NodeAllocator(rack)
+        alloc.set_target(8)
+        settle(rack)
+        alloc.set_target(0)
+        settle(rack)
+        assert rack.active_servers() == []
+
+    def test_same_target_not_counted(self, rack):
+        alloc = NodeAllocator(rack)
+        alloc.set_target(4)
+        ops = alloc.vm_ctrl_ops
+        assert alloc.set_target(4) is False
+        assert alloc.vm_ctrl_ops == ops
+
+    def test_target_bounds(self, rack):
+        alloc = NodeAllocator(rack)
+        with pytest.raises(ValueError):
+            alloc.set_target(-1)
+        with pytest.raises(ValueError):
+            alloc.set_target(9)
+
+    def test_fully_serving(self, rack):
+        alloc = NodeAllocator(rack)
+        alloc.set_target(4)
+        assert not rack.fully_serving()  # still booting
+        settle(rack)
+        assert rack.fully_serving()

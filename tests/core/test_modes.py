@@ -1,0 +1,54 @@
+"""Operating-mode FSM (Figures 7-8)."""
+
+import pytest
+
+from repro.battery.unit import BatteryMode
+from repro.core.modes import ModeTransition, bus_for_mode, legal_transitions
+
+
+class TestLegalTransitions:
+    def test_paper_cycle(self):
+        """Offline -> Charging -> Standby -> Discharging -> Offline."""
+        assert BatteryMode.CHARGING in legal_transitions(BatteryMode.OFFLINE)
+        assert BatteryMode.STANDBY in legal_transitions(BatteryMode.CHARGING)
+        assert BatteryMode.DISCHARGING in legal_transitions(BatteryMode.STANDBY)
+        assert BatteryMode.OFFLINE in legal_transitions(BatteryMode.DISCHARGING)
+
+    def test_transition_7_back_to_standby(self):
+        assert BatteryMode.STANDBY in legal_transitions(BatteryMode.DISCHARGING)
+
+    def test_offline_cannot_jump_to_discharging(self):
+        assert BatteryMode.DISCHARGING not in legal_transitions(BatteryMode.OFFLINE)
+
+    def test_charging_cannot_jump_to_discharging(self):
+        assert BatteryMode.DISCHARGING not in legal_transitions(BatteryMode.CHARGING)
+
+
+class TestModeTransition:
+    def test_valid_transition_constructs(self):
+        change = ModeTransition("b1", BatteryMode.OFFLINE, BatteryMode.CHARGING, "spm")
+        assert change.paper_numbers == (1,)
+
+    def test_illegal_transition_raises(self):
+        with pytest.raises(ValueError):
+            ModeTransition("b1", BatteryMode.OFFLINE, BatteryMode.DISCHARGING, "bad")
+
+    def test_paper_numbers_for_capacity_goal(self):
+        change = ModeTransition("b1", BatteryMode.CHARGING, BatteryMode.STANDBY, "goal")
+        assert set(change.paper_numbers) == {2, 5}
+
+    def test_soc_floor_is_transition_4(self):
+        change = ModeTransition("b1", BatteryMode.DISCHARGING, BatteryMode.OFFLINE, "soc")
+        assert change.paper_numbers == (4,)
+
+
+class TestBusMapping:
+    def test_offline_bus(self):
+        assert bus_for_mode(BatteryMode.OFFLINE) == "offline"
+
+    def test_charging_bus(self):
+        assert bus_for_mode(BatteryMode.CHARGING) == "charge"
+
+    def test_online_modes_on_load_bus(self):
+        assert bus_for_mode(BatteryMode.STANDBY) == "load"
+        assert bus_for_mode(BatteryMode.DISCHARGING) == "load"

@@ -1,0 +1,105 @@
+"""Temporal power management (Figure 11)."""
+
+import pytest
+
+from repro.core.temporal import (
+    TemporalAction,
+    TemporalParams,
+    TemporalPolicy,
+)
+
+
+@pytest.fixture
+def policy():
+    return TemporalPolicy(TemporalParams(), capacity_ah=35.0)
+
+
+class TestCap:
+    def test_cap_scales_with_online_units(self, policy):
+        assert policy.cap_amps(2) == pytest.approx(2 * 0.30 * 35.0)
+        assert policy.cap_amps(0) == 0.0
+
+    def test_over_current_caps(self, policy):
+        decision = policy.evaluate(
+            total_discharge_a=30.0, online_units=2, min_online_soc=0.8,
+            battery_needed=True,
+        )
+        assert decision.action is TemporalAction.CAP
+
+    def test_moderate_current_holds(self, policy):
+        cap = policy.cap_amps(2)
+        decision = policy.evaluate(
+            total_discharge_a=cap * 0.8, online_units=2, min_online_soc=0.8,
+            battery_needed=True,
+        )
+        assert decision.action is TemporalAction.HOLD
+
+    def test_low_current_relaxes(self, policy):
+        cap = policy.cap_amps(2)
+        decision = policy.evaluate(
+            total_discharge_a=cap * 0.3, online_units=2, min_online_soc=0.8,
+            battery_needed=True,
+        )
+        assert decision.action is TemporalAction.RELAX
+
+    def test_ample_solar_always_relaxes(self, policy):
+        decision = policy.evaluate(
+            total_discharge_a=0.0, online_units=2, min_online_soc=0.8,
+            battery_needed=False,
+        )
+        assert decision.action is TemporalAction.RELAX
+
+
+class TestSocFloor:
+    def test_floor_triggers_checkpoint(self, policy):
+        decision = policy.evaluate(
+            total_discharge_a=5.0, online_units=2, min_online_soc=0.2,
+            battery_needed=True,
+        )
+        assert decision.action is TemporalAction.CHECKPOINT
+
+    def test_floor_ignored_when_solar_ample(self, policy):
+        decision = policy.evaluate(
+            total_discharge_a=0.0, online_units=2, min_online_soc=0.2,
+            battery_needed=False,
+        )
+        assert decision.action is not TemporalAction.CHECKPOINT
+
+    def test_no_online_units_no_checkpoint(self, policy):
+        decision = policy.evaluate(
+            total_discharge_a=0.0, online_units=0, min_online_soc=0.0,
+            battery_needed=True,
+        )
+        assert decision.action is not TemporalAction.CHECKPOINT
+
+
+class TestActuation:
+    def test_duty_steps_down_and_floors(self, policy):
+        duty = 1.0
+        for _ in range(10):
+            duty = policy.next_duty(duty, TemporalAction.CAP)
+        assert duty == policy.params.duty_min
+
+    def test_duty_steps_up_and_caps(self, policy):
+        duty = policy.next_duty(0.95, TemporalAction.RELAX)
+        assert duty == 1.0
+
+    def test_duty_hold_unchanged(self, policy):
+        assert policy.next_duty(0.7, TemporalAction.HOLD) == 0.7
+
+    def test_vm_target_scales_down(self, policy):
+        assert policy.next_vm_target(6, 8, TemporalAction.CAP) == 4
+
+    def test_vm_target_never_negative(self, policy):
+        assert policy.next_vm_target(1, 8, TemporalAction.CAP) == 0
+
+    def test_vm_target_capped_at_preferred(self, policy):
+        assert policy.next_vm_target(8, 8, TemporalAction.RELAX) == 8
+
+    def test_negative_current_rejected(self, policy):
+        with pytest.raises(ValueError):
+            policy.evaluate(-1.0, 2, 0.5, True)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalPolicy(capacity_ah=0.0)

@@ -1,0 +1,60 @@
+"""Carbon footprint comparisons."""
+
+import pytest
+
+from repro.cost.carbon import (
+    annual_comparison,
+    diesel_footprint,
+    fuel_cell_footprint,
+    grid_footprint,
+    insure_footprint,
+)
+
+KWH = 3500.0
+
+
+class TestFootprints:
+    def test_insure_cleanest_option(self):
+        comparison = annual_comparison(KWH)
+        insure = comparison["insure"].total_kg
+        assert insure < comparison["fuel-cell"].total_kg
+        assert insure < comparison["diesel"].total_kg
+        assert insure < comparison["grid"].total_kg
+
+    def test_diesel_dirtiest(self):
+        comparison = annual_comparison(KWH)
+        assert comparison["diesel"].total_kg == max(
+            fp.total_kg for fp in comparison.values()
+        )
+
+    def test_diesel_magnitude(self):
+        # 3500 kWh * 0.45 l/kWh * 2.68 kg/l ~ 4.2 tonnes.
+        fp = diesel_footprint(KWH)
+        assert fp.operational_kg == pytest.approx(4221.0, rel=0.01)
+
+    def test_fuel_cell_cleaner_than_diesel_per_kwh(self):
+        assert fuel_cell_footprint(KWH).operational_kg < diesel_footprint(
+            KWH
+        ).operational_kg
+
+    def test_battery_embodied_counted(self):
+        fp = insure_footprint(KWH)
+        assert fp.embodied_kg > 0.0
+        # Operational solar lifecycle emissions stay modest.
+        assert fp.operational_kg < 300.0
+
+    def test_zero_usage(self):
+        assert grid_footprint(0.0).total_kg == 0.0
+        assert diesel_footprint(0.0).operational_kg == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diesel_footprint(-1.0)
+        with pytest.raises(ValueError):
+            insure_footprint(KWH, battery_capacity_kwh=0.0)
+
+    def test_scaling_linear_in_operational(self):
+        small = insure_footprint(1000.0)
+        large = insure_footprint(2000.0)
+        assert large.operational_kg == pytest.approx(2 * small.operational_kg)
+        assert large.embodied_kg == small.embodied_kg

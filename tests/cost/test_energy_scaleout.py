@@ -1,0 +1,135 @@
+"""Energy TCO, depreciation, scale-out and scenarios (Figs 3b, 22-25)."""
+
+import pytest
+
+from repro.cost.energy import (
+    DIESEL,
+    FUEL_CELL,
+    SOLAR_BATTERY,
+    EnergySource,
+    annual_depreciation,
+    annual_depreciation_total,
+    energy_tco,
+)
+from repro.cost.scaleout import (
+    amortized_cloud_cost,
+    amortized_scaleout_cost,
+    cloud_cost,
+    crossover_rate,
+    insitu_cost,
+    pods_required,
+    tco_vs_data_rate,
+)
+from repro.cost.scenarios import SCENARIOS, all_scenario_savings, scenario_savings
+
+
+class TestEnergyTCO:
+    def test_fuel_cell_most_expensive_long_run(self):
+        for years in (5, 11):
+            assert energy_tco(FUEL_CELL, years) > energy_tco(SOLAR_BATTERY, years)
+            assert energy_tco(FUEL_CELL, years) > energy_tco(DIESEL, years)
+
+    def test_solar_beats_diesel_by_year_5(self):
+        assert energy_tco(SOLAR_BATTERY, 5) < energy_tco(DIESEL, 5)
+
+    def test_diesel_cheap_up_front(self):
+        assert energy_tco(DIESEL, 1) < energy_tco(SOLAR_BATTERY, 1)
+
+    def test_battery_replacements_counted(self):
+        with_batt = energy_tco(SOLAR_BATTERY, 9)
+        without = energy_tco(SOLAR_BATTERY, 9, include_battery=False)
+        assert with_batt - without == pytest.approx(3 * 210.0 * 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            energy_tco(DIESEL, 0.0)
+        with pytest.raises(ValueError):
+            EnergySource("x", -1.0, 5.0, 0.1)
+
+
+class TestFigure22:
+    def test_diesel_roughly_20_pct_more(self):
+        insure = annual_depreciation_total("InSURE")
+        diesel = annual_depreciation_total("DG")
+        assert 0.15 <= diesel / insure - 1.0 <= 0.25
+
+    def test_fuel_cell_roughly_24_pct_more(self):
+        insure = annual_depreciation_total("InSURE")
+        fc = annual_depreciation_total("FC")
+        assert 0.20 <= fc / insure - 1.0 <= 0.30
+
+    def test_ebuffer_around_9_pct_of_insure(self):
+        breakdown = annual_depreciation("InSURE")
+        share = breakdown["battery"] / sum(breakdown.values())
+        assert 0.07 <= share <= 0.11
+
+    def test_pv_and_inverter_around_8_pct(self):
+        breakdown = annual_depreciation("InSURE")
+        share = (breakdown["pv_panels"] + breakdown["inverter"]) / sum(
+            breakdown.values()
+        )
+        assert 0.06 <= share <= 0.10
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            annual_depreciation("NUCLEAR")
+
+
+class TestFigure23:
+    def test_more_pods_at_lower_sunshine(self):
+        assert pods_required(240.0, 0.4) > pods_required(240.0, 1.0)
+
+    def test_scaleout_cheaper_than_cloud_at_all_ssf(self):
+        cloud = amortized_cloud_cost()
+        for ssf in (1.0, 0.8, 0.6, 0.4):
+            assert amortized_scaleout_cost(ssf) < cloud
+
+    def test_savings_up_to_60_pct(self):
+        cloud = amortized_cloud_cost()
+        best = 1.0 - amortized_scaleout_cost(1.0) / cloud
+        assert best >= 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pods_required(0.0, 1.0)
+        with pytest.raises(ValueError):
+            pods_required(100.0, 1.5)
+
+
+class TestFigure24:
+    def test_crossover_near_paper_value(self):
+        rate = crossover_rate()
+        assert 0.5 <= rate <= 1.5  # paper: ~0.9 GB/day
+
+    def test_cloud_cheaper_below_crossover(self):
+        rate = crossover_rate()
+        assert cloud_cost(rate * 0.5) < insitu_cost(rate * 0.5)
+        assert cloud_cost(rate * 2.0) > insitu_cost(rate * 2.0)
+
+    def test_savings_at_half_tb_per_day(self):
+        saving = 1.0 - insitu_cost(500.0) / cloud_cost(500.0)
+        assert saving >= 0.9  # paper: up to 96 %
+
+    def test_curve_family_structure(self):
+        curves = tco_vs_data_rate()
+        assert "cloud" in curves
+        assert "insitu-100%" in curves
+        # Lower sunshine fraction never cheaper.
+        for a, b in zip(curves["insitu-100%"], curves["insitu-40%"]):
+            assert b >= a
+
+
+class TestFigure25:
+    def test_savings_land_in_paper_ranges(self):
+        for key, saving in all_scenario_savings().items():
+            lo, hi = SCENARIOS[key].paper_savings_range
+            assert lo - 0.12 <= saving <= hi + 0.12, (key, saving)
+
+    def test_long_heavy_deployments_save_most(self):
+        savings = all_scenario_savings()
+        assert savings["E"] > savings["B"]
+        assert savings["D"] > savings["A"]
+
+    def test_sunshine_fraction_matters(self):
+        scenario = SCENARIOS["D"]
+        assert scenario_savings(scenario, 1.0) >= scenario_savings(scenario, 0.4)

@@ -1,0 +1,107 @@
+"""Data movement costs (Figures 1 and 3a)."""
+
+import pytest
+
+from repro.cost.it import InSituCosts, TransmitCosts, it_tco_timeline
+from repro.cost.transfer import (
+    LINKS,
+    aws_egress_cost_per_tb,
+    satellite_plan_monthly_usd,
+    transfer_cost_usd,
+    transfer_hours_per_tb,
+)
+
+
+class TestTransferTime:
+    def test_t1_takes_weeks(self):
+        assert transfer_hours_per_tb(LINKS["T1 (1.5 Mbps)"]) > 24 * 30
+
+    def test_10gbe_takes_under_an_hour(self):
+        assert transfer_hours_per_tb(LINKS["10 Gbps"]) < 1.0
+
+    def test_monotonic_in_speed(self):
+        speeds = sorted(LINKS.values())
+        times = [transfer_hours_per_tb(s) for s in speeds]
+        assert times == sorted(times, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transfer_hours_per_tb(0.0)
+        with pytest.raises(ValueError):
+            transfer_hours_per_tb(10.0, efficiency=0.0)
+
+
+class TestAWSEgress:
+    def test_paper_figure_1b_magnitudes(self):
+        # Figure 1b: >$110/TB at 10 TB falling towards ~$50/TB at 500 TB.
+        assert aws_egress_cost_per_tb(10.0) > 100.0
+        assert aws_egress_cost_per_tb(500.0) < 60.0
+
+    def test_average_decreasing(self):
+        rates = [aws_egress_cost_per_tb(tb) for tb in (10, 50, 150, 250, 500)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aws_egress_cost_per_tb(0.0)
+
+
+class TestMediaCosts:
+    def test_satellite_per_mb(self):
+        assert transfer_cost_usd(1.0, "satellite") == pytest.approx(140.0)
+
+    def test_cellular_per_gb(self):
+        assert transfer_cost_usd(10.0, "cellular") == pytest.approx(100.0)
+
+    def test_hardware_included_when_asked(self):
+        bare = transfer_cost_usd(1.0, "cellular")
+        assert transfer_cost_usd(1.0, "cellular", include_hardware=True) > bare
+
+    def test_unknown_medium(self):
+        with pytest.raises(ValueError):
+            transfer_cost_usd(1.0, "pigeon")
+
+    def test_satellite_plan_sublinear(self):
+        full = satellite_plan_monthly_usd(530.0)
+        small = satellite_plan_monthly_usd(53.0)
+        assert full == pytest.approx(30_000.0)
+        assert small > 30_000.0 * 0.1  # much more than the linear share
+        assert small < full
+
+
+class TestFigure3a:
+    def test_insitu_cheaper_than_transmit_everything(self):
+        for medium in ("satellite", "cellular"):
+            transmit = TransmitCosts(medium).cumulative_usd(5.0)
+            insitu = InSituCosts(medium).cumulative_usd(5.0)
+            assert insitu < transmit
+
+    def test_satellite_saving_over_55_pct(self):
+        transmit = TransmitCosts("satellite").cumulative_usd(5.0)
+        insitu = InSituCosts("satellite").cumulative_usd(5.0)
+        assert 1.0 - insitu / transmit >= 0.55
+
+    def test_cellular_saving_around_95_pct(self):
+        transmit = TransmitCosts("cellular").cumulative_usd(5.0)
+        insitu = InSituCosts("cellular").cumulative_usd(5.0)
+        assert 1.0 - insitu / transmit >= 0.90
+
+    def test_million_dollar_savings_in_5_years(self):
+        """Paper: in-situ saves over a million dollars in five years."""
+        transmit = TransmitCosts("cellular").cumulative_usd(5.0)
+        insitu = InSituCosts("cellular").cumulative_usd(5.0)
+        assert transmit - insitu > 1_000_000.0
+
+    def test_timeline_shape(self):
+        timeline = it_tco_timeline()
+        assert set(timeline) == {
+            "Satellite(SA)", "Cellular(4G)", "InSitu + SA", "InSitu + 4G",
+        }
+        for series in timeline.values():
+            assert series == sorted(series)  # cumulative costs grow
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransmitCosts("cellular").cumulative_usd(0.0)
+        with pytest.raises(ValueError):
+            InSituCosts("cellular").cumulative_usd(-1.0)

@@ -1,0 +1,36 @@
+"""Behaviour demonstrations (Figures 5 and 14a) at test scale."""
+
+import pytest
+
+from repro.experiments.behavior import (
+    run_fig5_unified_switchout,
+    run_fig14a_prioritisation,
+)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5_unified_switchout()
+
+    def test_bank_trips(self, result):
+        assert len(result.switch_out_times) >= 1
+
+    def test_service_collapses(self, result):
+        assert result.demand_after_w < result.demand_before_w * 0.3
+
+    def test_trip_happens_under_load(self, result):
+        assert result.demand_before_w > 500.0
+
+
+class TestFig14a:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig14a_prioritisation()
+
+    def test_spm_selects_a_cabinet(self, result):
+        assert result.charge_order
+
+    def test_lowest_soc_first(self, result):
+        lowest = min(result.initial_socs, key=result.initial_socs.get)
+        assert result.charge_order[0] == lowest

@@ -1,0 +1,113 @@
+"""Experiment runners produce paper-shaped results.
+
+These are slower than unit tests (each runs a partial simulation), so
+they use the smallest configurations that still show the shape.
+"""
+
+import pytest
+
+from repro.experiments.charging import (
+    charging_time_hours,
+    run_fig4b_discharge,
+)
+from repro.experiments.fixed_config import run_energy_window, run_fixed_config
+from repro.experiments.table7 import efficiency_gains, run_table7
+from repro.workloads import SeismicAnalysis, VideoSurveillance
+
+
+class TestFig4Charging:
+    def test_sequential_wins_on_scarce_budget(self):
+        seq = charging_time_hours(1, 150.0)
+        batch = charging_time_hours(3, 150.0)
+        assert 1.0 - seq / batch > 0.3  # paper: ~50 %
+
+    def test_batch_wins_on_abundant_budget(self):
+        seq = charging_time_hours(1, 800.0)
+        batch = charging_time_hours(3, 800.0)
+        assert batch < seq
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            charging_time_hours(0, 100.0)
+
+
+class TestFig4Discharge:
+    def test_high_load_cuts_out_early_with_charge_left(self):
+        traces = run_fig4b_discharge()
+        high = traces["high"]
+        assert high.cutout_t is not None
+        assert high.soc_at_cutout > 0.2  # stranded capacity
+
+    def test_low_load_delivers_more(self):
+        traces = run_fig4b_discharge()
+        assert traces["low"].soc_at_cutout < traces["high"].soc_at_cutout
+
+    def test_recovery_effect_visible(self):
+        traces = run_fig4b_discharge()
+        high = traces["high"]
+        # After resting, the open-circuit voltage rebounds above cutoff.
+        assert high.recovered_voltage > 23.3 + 0.3
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {
+            vms: run_fixed_config(SeismicAnalysis(arrivals_per_day=()), vms)
+            for vms in (8, 4)
+        }
+
+    def test_power_matches_paper(self, rows):
+        assert rows[8].avg_power_w == pytest.approx(1397.0, abs=60.0)
+        assert rows[4].avg_power_w == pytest.approx(696.0, abs=40.0)
+
+    def test_4vm_availability_much_higher(self, rows):
+        assert rows[4].availability > rows[8].availability + 0.2
+
+    def test_4vm_throughput_at_least_as_good(self, rows):
+        assert rows[4].throughput_gb_per_hour >= rows[8].throughput_gb_per_hour * 0.98
+
+    def test_8vm_needs_protection_stops(self, rows):
+        assert rows[8].protection_stops >= 1
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {
+            vms: run_energy_window(VideoSurveillance(), vms)
+            for vms in (8, 6, 4, 2)
+        }
+
+    def test_throughput_decreases_with_vms(self, rows):
+        thr = [rows[v].throughput_gb_per_hour for v in (8, 6, 4, 2)]
+        assert thr == sorted(thr, reverse=True)
+
+    def test_delay_increases_as_vms_shrink(self, rows):
+        delays = [rows[v].mean_delay_minutes for v in (8, 6, 4, 2)]
+        assert delays == sorted(delays)
+
+    def test_8vm_keeps_up_with_stream(self, rows):
+        assert rows[8].mean_delay_minutes < 1.0
+
+    def test_power_scales_with_vms(self, rows):
+        assert rows[2].avg_power_w == pytest.approx(335.0, abs=40.0)
+        assert rows[6].avg_power_w == pytest.approx(1050.0, abs=60.0)
+
+
+class TestTable7:
+    def test_i7_gains_in_paper_band(self):
+        gains = efficiency_gains(run_table7())
+        assert all(4.0 <= g <= 16.0 for g in gains.values())
+
+    def test_exe_times_match_paper(self):
+        rows = {(r.benchmark, r.server): r for r in run_table7()}
+        assert rows[("dedup", "xeon-dl380")].exe_time_s == pytest.approx(97.0, rel=0.05)
+        assert rows[("dedup", "core-i7")].exe_time_s == pytest.approx(48.0, rel=0.05)
+        assert rows[("bayesian", "core-i7")].exe_time_s == pytest.approx(662.0, rel=0.05)
+
+    def test_i7_power_an_order_lower(self):
+        rows = run_table7()
+        xeon = [r for r in rows if r.server == "xeon-dl380"]
+        i7 = [r for r in rows if r.server == "core-i7"]
+        assert max(r.avg_power_w for r in i7) < min(r.avg_power_w for r in xeon) / 5

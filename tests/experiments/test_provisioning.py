@@ -1,0 +1,47 @@
+"""Provisioning sweep mechanics (small configurations for speed)."""
+
+import pytest
+
+from repro.experiments.provisioning import (
+    ProvisioningPoint,
+    diminishing_returns,
+    run_provisioning_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_provisioning_sweep(battery_counts=(2, 4), seeds=(12,))
+
+
+class TestSweep:
+    def test_points_in_order(self, sweep):
+        assert [p.battery_count for p in sweep] == [2, 4]
+
+    def test_bigger_buffer_never_much_worse(self, sweep):
+        small, large = sweep
+        assert large.processed_gb >= small.processed_gb * 0.85
+
+    def test_cost_model(self, sweep):
+        small, large = sweep
+        assert small.extra_cost_usd_year < 0 < large.extra_cost_usd_year
+
+    def test_summaries_kept(self, sweep):
+        assert all(len(p.summaries) == 1 for p in sweep)
+
+
+class TestDiminishingReturns:
+    def test_gains_computed_pairwise(self):
+        def point(count, gb):
+            return ProvisioningPoint(
+                battery_count=count, solar_scale=1.0, processed_gb=gb,
+                uptime_fraction=0.5, summaries=(),
+            )
+
+        gains = diminishing_returns([point(2, 10.0), point(3, 14.0),
+                                     point(4, 16.0)])
+        assert gains == pytest.approx([4.0, 2.0])
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            diminishing_returns([])

@@ -1,0 +1,99 @@
+"""Failure injection: the controller must degrade gracefully.
+
+The prototype lives in the field: sensors drift, relays stick, batteries
+age.  These tests inject each fault into a full-system run and check the
+controller keeps the installation serving without crash storms.
+"""
+
+import pytest
+
+from repro.battery.params import BatteryParams, VoltageParams
+from repro.core.sensing import BatteryTelemetry
+from repro.core.system import build_system
+from repro.solar.traces import make_day_trace
+from repro.workloads import VideoSurveillance
+
+HOUR = 3600.0
+
+
+def healthy_system(seed=13, **kwargs):
+    trace = make_day_trace("sunny", seed=seed, target_mean_w=900.0)
+    return build_system(trace, VideoSurveillance(), controller="insure",
+                        seed=seed, initial_soc=0.6, **kwargs)
+
+
+class TestSensorFaults:
+    @pytest.mark.parametrize("gain_error", [-0.03, 0.03])
+    def test_survives_uncalibrated_sensors(self, gain_error):
+        system = healthy_system()
+        # Rebuild the sensing chain with a systematic gain error.
+        system.controller.telemetry = BatteryTelemetry(
+            system.bank, gain_error=gain_error
+        )
+        summary = system.run(6 * HOUR)
+        assert summary.uptime_fraction > 0.3
+        assert summary.crash_count < 10
+
+    def test_biased_sensors_shift_but_dont_break_estimates(self):
+        system = healthy_system()
+        system.controller.telemetry = BatteryTelemetry(
+            system.bank, gain_error=0.03
+        )
+        system.run(3 * HOUR)
+        for unit in system.bank:
+            estimate = system.controller.telemetry.sense(unit.name).soc_estimate
+            assert abs(estimate - unit.soc) < 0.35
+
+
+class TestRelayFaults:
+    def test_stuck_discharge_relay(self):
+        """One cabinet frozen on the load bus: the system keeps serving."""
+        system = healthy_system()
+        pair = system.switchnet.pairs["battery-2"]
+        pair.to_load()
+        pair.discharge.force_stick()
+        pair.charge.force_stick()
+        summary = system.run(6 * HOUR)
+        assert summary.uptime_fraction > 0.3
+
+    def test_stuck_open_relay_loses_one_cabinet(self):
+        """One cabinet stuck offline: capacity shrinks, service survives."""
+        system = healthy_system()
+        pair = system.switchnet.pairs["battery-3"]
+        pair.to_offline()
+        pair.discharge.force_stick()
+        pair.charge.force_stick()
+        summary = system.run(6 * HOUR)
+        assert summary.uptime_fraction > 0.3
+        # The stuck cabinet never carried load.
+        assert system.bank.by_name("battery-3").wear.discharge_ah < 1.0
+
+
+class TestAgedBatteries:
+    def test_degraded_bank_still_serves(self):
+        """Aged cells: 70 % capacity, doubled internal resistance."""
+        aged = BatteryParams(
+            capacity_ah=24.5,
+            voltage=VoltageParams(r_internal_ohm=0.06),
+        )
+        system = healthy_system(battery_params=aged)
+        summary = system.run(6 * HOUR)
+        assert summary.uptime_fraction > 0.25
+
+    def test_degradation_costs_throughput(self):
+        fresh = healthy_system().run(6 * HOUR)
+        aged_params = BatteryParams(
+            capacity_ah=24.5,
+            voltage=VoltageParams(r_internal_ohm=0.06),
+        )
+        aged = healthy_system(battery_params=aged_params).run(6 * HOUR)
+        assert aged.processed_gb <= fresh.processed_gb * 1.05
+
+
+class TestMismatchedBank:
+    def test_wildly_uneven_initial_socs(self):
+        system = healthy_system(initial_socs=[0.95, 0.4, 0.1])
+        summary = system.run(6 * HOUR)
+        assert summary.uptime_fraction > 0.3
+        # The SPM must have worked on the empty cabinet.
+        assert system.bank.by_name("battery-3").soc > 0.1

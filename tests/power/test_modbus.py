@@ -1,0 +1,121 @@
+"""Modbus register map, framing and CRC."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.modbus import (
+    ModbusError,
+    ModbusMaster,
+    ModbusSlave,
+    crc16,
+    decode_fixed,
+    encode_fixed,
+)
+
+
+def make_pair():
+    slave = ModbusSlave(unit_id=1)
+    return slave, ModbusMaster(slave)
+
+
+class TestCRC:
+    def test_known_vector(self):
+        # Standard Modbus reference vector.
+        assert crc16(bytes([0x01, 0x03, 0x00, 0x00, 0x00, 0x01])) == 0x0A84
+
+    def test_detects_corruption(self):
+        slave, master = make_pair()
+        body = bytes([1, 3, 0, 0, 0, 1])
+        frame = body + b"\x00\x00"  # wrong CRC
+        with pytest.raises(ModbusError):
+            slave.handle(frame)
+
+
+class TestFixedPoint:
+    def test_roundtrip(self):
+        assert decode_fixed(encode_fixed(25.43)) == pytest.approx(25.43)
+
+    def test_negative_values(self):
+        assert decode_fixed(encode_fixed(-8.5)) == pytest.approx(-8.5)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ModbusError):
+            encode_fixed(400.0, scale=100.0)
+
+    def test_decode_range_checked(self):
+        with pytest.raises(ModbusError):
+            decode_fixed(70000)
+
+    @given(value=st.floats(-300.0, 300.0))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, value):
+        # Half an LSB of quantisation error, plus float epsilon.
+        assert decode_fixed(encode_fixed(value)) == pytest.approx(value, abs=0.0051)
+
+
+class TestTransactions:
+    def test_holding_roundtrip(self):
+        _, master = make_pair()
+        master.write_holding(10, 1234)
+        assert master.read_holding(10) == [1234]
+
+    def test_write_many(self):
+        _, master = make_pair()
+        master.write_many(5, [1, 2, 3])
+        assert master.read_holding(5, 3) == [1, 2, 3]
+
+    def test_input_registers(self):
+        slave, master = make_pair()
+        slave.set_input(0, encode_fixed(25.4))
+        assert decode_fixed(master.read_input(0)[0]) == pytest.approx(25.4)
+
+    def test_multi_register_read(self):
+        slave, master = make_pair()
+        for i in range(4):
+            slave.set_input(i, i * 100)
+        assert master.read_input(0, 4) == [0, 100, 200, 300]
+
+    def test_read_beyond_bank(self):
+        _, master = make_pair()
+        with pytest.raises(ModbusError):
+            master.read_holding(250, 10)
+
+    def test_wrong_unit_id(self):
+        slave = ModbusSlave(unit_id=2)
+        other = ModbusSlave(unit_id=1)
+        master = ModbusMaster(other)
+        body = bytes([2, 3, 0, 0, 0, 1])
+        import struct
+
+        frame = body + struct.pack("<H", crc16(body))
+        with pytest.raises(ModbusError):
+            other.handle(frame)
+        del slave, master
+
+    def test_empty_write_many(self):
+        _, master = make_pair()
+        with pytest.raises(ValueError):
+            master.write_many(0, [])
+
+    @given(values=st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_write_read_property(self, values):
+        _, master = make_pair()
+        master.write_many(0, values)
+        assert master.read_holding(0, len(values)) == values
+
+
+class TestValidation:
+    def test_bad_unit_id(self):
+        with pytest.raises(ValueError):
+            ModbusSlave(unit_id=300)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            ModbusSlave(size=0)
+
+    def test_address_bounds(self):
+        slave = ModbusSlave(size=8)
+        with pytest.raises(ModbusError):
+            slave.set_input(8, 0)

@@ -1,0 +1,107 @@
+"""Series/parallel array reconfiguration (the P1-P3 switches)."""
+
+import pytest
+
+from repro.battery.params import BatteryParams
+from repro.battery.unit import BatteryUnit
+from repro.power.topology import (
+    MAX_SERIES_SOC_SPREAD,
+    ReconfigurableArray,
+    Topology,
+    TopologyError,
+)
+
+
+def units(*socs):
+    return [BatteryUnit(f"u{i}", soc=s) for i, s in enumerate(socs)]
+
+
+class TestRatings:
+    def test_parallel_sums_capacity(self):
+        array = ReconfigurableArray(units(0.9, 0.9, 0.9))
+        rating = array.configure(Topology.PARALLEL)
+        assert rating.output_voltage == pytest.approx(24.0)
+        assert rating.capacity_ah == pytest.approx(105.0)
+
+    def test_series_sums_voltage(self):
+        array = ReconfigurableArray(units(0.9, 0.9, 0.9))
+        rating = array.configure(Topology.SERIES)
+        assert rating.output_voltage == pytest.approx(72.0)
+        assert rating.capacity_ah == pytest.approx(35.0)
+
+    def test_energy_identical_either_way(self):
+        array = ReconfigurableArray(units(0.9, 0.9))
+        parallel = array.configure(Topology.PARALLEL)
+        series = array.configure(Topology.SERIES)
+        assert parallel.energy_wh == pytest.approx(series.energy_wh)
+
+    def test_series_limited_by_weakest(self):
+        array = ReconfigurableArray(units(0.9, 0.8))
+        series = array.configure(Topology.SERIES)
+        weakest = min(u.max_discharge_current(5.0) for u in array.units)
+        assert series.max_discharge_a == pytest.approx(weakest)
+
+
+class TestSafety:
+    def test_series_refuses_mismatched_soc(self):
+        array = ReconfigurableArray(units(0.9, 0.9 - MAX_SERIES_SOC_SPREAD - 0.1))
+        with pytest.raises(TopologyError):
+            array.configure(Topology.SERIES)
+
+    def test_parallel_tolerates_mismatch(self):
+        array = ReconfigurableArray(units(0.9, 0.4))
+        array.configure(Topology.PARALLEL)  # must not raise
+
+    def test_mixed_voltages_rejected(self):
+        mixed = [
+            BatteryUnit("a"),
+            BatteryUnit("b", params=BatteryParams(nominal_voltage=12.0)),
+        ]
+        with pytest.raises(TopologyError):
+            ReconfigurableArray(mixed)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReconfigurableArray([])
+
+
+class TestElectricalConsequences:
+    def test_series_halves_bus_current(self):
+        array = ReconfigurableArray(units(0.9, 0.9))
+        array.configure(Topology.PARALLEL)
+        parallel_current = array.bus_current_for(480.0)
+        array.configure(Topology.SERIES)
+        series_current = array.bus_current_for(480.0)
+        assert series_current == pytest.approx(parallel_current / 2.0)
+
+    def test_series_quarters_wiring_loss(self):
+        array = ReconfigurableArray(units(0.9, 0.9))
+        array.configure(Topology.PARALLEL)
+        parallel_loss = array.distribution_loss_w(480.0)
+        array.configure(Topology.SERIES)
+        series_loss = array.distribution_loss_w(480.0)
+        assert series_loss == pytest.approx(parallel_loss / 4.0)
+
+    def test_preferred_topology_prefers_series_when_safe(self):
+        array = ReconfigurableArray(units(0.9, 0.9))
+        assert array.preferred_topology_for(400.0) is Topology.SERIES
+
+    def test_preferred_falls_back_to_parallel_on_mismatch(self):
+        array = ReconfigurableArray(units(0.9, 0.5))
+        assert array.preferred_topology_for(200.0) is Topology.PARALLEL
+
+    def test_preferred_respects_deliverability(self):
+        array = ReconfigurableArray(units(0.9, 0.9))
+        with pytest.raises(TopologyError):
+            array.preferred_topology_for(50_000.0)
+
+    def test_preferred_restores_original_topology(self):
+        array = ReconfigurableArray(units(0.9, 0.9))
+        array.configure(Topology.PARALLEL)
+        array.preferred_topology_for(400.0)
+        assert array.topology is Topology.PARALLEL
+
+    def test_negative_power_rejected(self):
+        array = ReconfigurableArray(units(0.9))
+        with pytest.raises(ValueError):
+            array.bus_current_for(-1.0)

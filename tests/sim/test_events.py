@@ -1,0 +1,45 @@
+"""Event log queries."""
+
+from repro.sim.events import EventLog
+
+
+def make_log():
+    log = EventLog()
+    log.emit(0.0, "relay.switch", "battery-1", bus="charge")
+    log.emit(5.0, "relay.switch", "battery-2", bus="load")
+    log.emit(8.0, "relay.fault", "battery-2")
+    log.emit(10.0, "vm.ctrl", "allocator", op="add")
+    return log
+
+
+class TestQueries:
+    def test_count_exact_kind(self):
+        assert make_log().count("vm.ctrl") == 1
+
+    def test_prefix_matching(self):
+        assert make_log().count("relay") == 3
+
+    def test_prefix_does_not_match_partial_word(self):
+        log = EventLog()
+        log.emit(0.0, "relays", "x")
+        assert log.count("relay") == 0
+
+    def test_between_half_open(self):
+        log = make_log()
+        assert len(log.between(5.0, 10.0)) == 2
+
+    def test_last(self):
+        log = make_log()
+        assert log.last("relay").t == 8.0
+        assert log.last("nothing") is None
+
+    def test_len_and_iter(self):
+        log = make_log()
+        assert len(log) == 4
+        assert len(list(log)) == 4
+
+    def test_emit_returns_event_with_payload(self):
+        log = EventLog()
+        event = log.emit(1.5, "x", "src", value=42)
+        assert event.data["value"] == 42
+        assert event.t == 1.5

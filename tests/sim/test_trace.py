@@ -1,0 +1,75 @@
+"""Trace recorder sampling and access."""
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.trace import TraceRecorder
+
+
+def advance_and_record(recorder, steps, dt=1.0):
+    clock = Clock(dt=dt)
+    for _ in range(steps):
+        recorder(clock)
+        clock.advance()
+
+
+class TestChannels:
+    def test_records_values(self):
+        value = {"x": 0.0}
+        rec = TraceRecorder()
+        rec.channel("x", lambda: value["x"])
+        clock = Clock()
+        for i in range(3):
+            value["x"] = float(i)
+            rec(clock)
+            clock.advance()
+        assert list(rec["x"]) == [0.0, 1.0, 2.0]
+        assert list(rec["t"]) == [0.0, 1.0, 2.0]
+
+    def test_duplicate_channel_rejected(self):
+        rec = TraceRecorder()
+        rec.channel("x", lambda: 0.0)
+        with pytest.raises(ValueError):
+            rec.channel("x", lambda: 1.0)
+
+    def test_reserved_time_channel(self):
+        rec = TraceRecorder()
+        with pytest.raises(ValueError):
+            rec.channel("t", lambda: 0.0)
+
+    def test_unknown_channel_keyerror(self):
+        rec = TraceRecorder()
+        with pytest.raises(KeyError):
+            rec["nope"]
+
+    def test_channels_bulk_registration(self):
+        rec = TraceRecorder()
+        rec.channels({"a": lambda: 1.0, "b": lambda: 2.0})
+        assert set(rec.names) == {"a", "b"}
+
+    def test_contains(self):
+        rec = TraceRecorder()
+        rec.channel("x", lambda: 0.0)
+        assert "x" in rec
+        assert "t" in rec
+        assert "y" not in rec
+
+
+class TestDecimation:
+    def test_every_parameter(self):
+        rec = TraceRecorder(every=3)
+        rec.channel("x", lambda: 1.0)
+        advance_and_record(rec, 9)
+        assert len(rec) == 3
+
+    def test_invalid_every(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(every=0)
+
+    def test_as_dict_returns_arrays(self):
+        rec = TraceRecorder()
+        rec.channel("x", lambda: 2.5)
+        advance_and_record(rec, 4)
+        data = rec.as_dict()
+        assert set(data) == {"t", "x"}
+        assert data["x"].shape == (4,)

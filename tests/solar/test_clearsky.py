@@ -1,0 +1,29 @@
+"""Haurwitz clear-sky irradiance."""
+
+import pytest
+
+from repro.solar.clearsky import clearsky_ghi
+
+
+class TestClearSky:
+    def test_zero_at_night(self):
+        assert clearsky_ghi(2.0) == 0.0
+
+    def test_noon_magnitude(self):
+        # Summer solstice at Gainesville: close to 1000 W/m^2 at noon.
+        ghi = clearsky_ghi(12.0)
+        assert 900.0 < ghi < 1100.0
+
+    def test_monotonic_morning(self):
+        values = [clearsky_ghi(h) for h in (7.0, 8.0, 9.0, 10.0, 11.0, 12.0)]
+        assert values == sorted(values)
+
+    def test_symmetric_day(self):
+        assert clearsky_ghi(9.0) == pytest.approx(clearsky_ghi(15.0), rel=1e-9)
+
+    def test_winter_weaker(self):
+        assert clearsky_ghi(12.0, day_of_year=355) < clearsky_ghi(12.0, day_of_year=172)
+
+    def test_never_negative(self):
+        for h in range(24):
+            assert clearsky_ghi(float(h)) >= 0.0

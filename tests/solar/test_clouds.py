@@ -1,0 +1,67 @@
+"""Cloud regime process."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.solar.clouds import CloudField, CloudRegime
+
+
+def rng(name="clouds", seed=0):
+    return RandomStreams(seed).stream(name)
+
+
+def mean_clearness(field, steps=2000, dt=5.0):
+    return float(np.mean([field.step(dt) for _ in range(steps)]))
+
+
+class TestBounds:
+    def test_clearness_stays_in_range(self):
+        field = CloudField(rng())
+        for _ in range(5000):
+            value = field.step(5.0)
+            assert 0.02 <= value <= 1.0
+
+    def test_rejects_bad_reversion(self):
+        with pytest.raises(ValueError):
+            CloudField(rng(), reversion_per_hour=0.0)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            CloudField(rng(), {CloudRegime.CLEAR: 0.0})
+
+    def test_rejects_bad_dt(self):
+        field = CloudField(rng())
+        with pytest.raises(ValueError):
+            field.step(0.0)
+
+
+class TestRegimeProfiles:
+    def test_sunny_clearer_than_rainy(self):
+        sunny = mean_clearness(CloudField.sunny(rng("a")))
+        rainy = mean_clearness(CloudField.rainy(rng("b")))
+        assert sunny > 0.75
+        assert rainy < 0.45
+        assert sunny > rainy + 0.3
+
+    def test_cloudy_most_variable(self):
+        def variability(field):
+            values = [field.step(5.0) for _ in range(3000)]
+            return float(np.std(np.diff(values)))
+
+        cloudy = variability(CloudField.cloudy(rng("c")))
+        sunny = variability(CloudField.sunny(rng("d")))
+        assert cloudy > sunny
+
+    def test_deterministic_given_stream(self):
+        a = [CloudField.sunny(rng(seed=3)).step(5.0) for _ in range(1)]
+        b = [CloudField.sunny(rng(seed=3)).step(5.0) for _ in range(1)]
+        assert a == b
+
+    def test_regimes_switch_over_time(self):
+        field = CloudField.cloudy(rng("switch"))
+        seen = set()
+        for _ in range(20_000):
+            field.step(5.0)
+            seen.add(field.regime)
+        assert len(seen) >= 2

@@ -1,0 +1,83 @@
+"""Short-horizon solar forecasters."""
+
+import numpy as np
+import pytest
+
+from repro.solar.clearsky import clearsky_ghi
+from repro.solar.forecast import ClearSkyScaledForecast, PersistenceForecast
+from repro.solar.traces import make_day_trace
+
+
+class TestPersistence:
+    def test_predicts_rolling_mean(self):
+        forecast = PersistenceForecast(window_s=100.0)
+        for t in range(0, 100, 10):
+            forecast.observe(float(t), 500.0)
+        assert forecast.predict(600.0) == pytest.approx(500.0)
+
+    def test_window_forgets_old_samples(self):
+        forecast = PersistenceForecast(window_s=50.0)
+        forecast.observe(0.0, 1000.0)
+        for t in range(100, 160, 10):
+            forecast.observe(float(t), 200.0)
+        assert forecast.predict(600.0) == pytest.approx(200.0)
+
+    def test_empty_predicts_zero(self):
+        assert PersistenceForecast().predict(600.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PersistenceForecast(window_s=0.0)
+        with pytest.raises(ValueError):
+            PersistenceForecast().observe(0.0, -1.0)
+
+
+class TestClearSkyScaled:
+    def _feed(self, forecast, trace, until_s, dt=60.0):
+        t = 0.0
+        while t < until_s:
+            forecast.observe(t, trace.at(t))
+            t += dt
+
+    def test_tracks_clear_day(self):
+        trace = make_day_trace("sunny", seed=3)
+        forecast = ClearSkyScaledForecast()
+        self._feed(forecast, trace, 3 * 3600.0)
+        horizon = 1800.0
+        predicted = forecast.predict(horizon)
+        actual = np.mean([trace.at(3 * 3600.0 + s) for s in range(0, 1800, 60)])
+        assert predicted == pytest.approx(actual, rel=0.35)
+
+    def test_beats_persistence_near_sunset(self):
+        """Persistence is systematically high in the evening decline."""
+        trace = make_day_trace("sunny", seed=3)
+        scaled = ClearSkyScaledForecast()
+        naive = PersistenceForecast()
+        # Feed up to one hour before the trace ends (evening).
+        until = trace.duration_s - 3600.0
+        t = 0.0
+        while t < until:
+            power = trace.at(t)
+            scaled.observe(t, power)
+            naive.observe(t, power)
+            t += 60.0
+        actual = np.mean([trace.at(until + s) for s in range(0, 3600, 60)])
+        err_scaled = abs(scaled.predict(3600.0) - actual)
+        err_naive = abs(naive.predict(3600.0) - actual)
+        assert err_scaled < err_naive
+
+    def test_validation(self):
+        forecast = ClearSkyScaledForecast()
+        with pytest.raises(ValueError):
+            forecast.predict(0.0)
+        with pytest.raises(ValueError):
+            forecast.observe(0.0, -5.0)
+        with pytest.raises(ValueError):
+            ClearSkyScaledForecast(rated_w=0.0)
+
+    def test_night_observations_ignored(self):
+        forecast = ClearSkyScaledForecast(start_hour=0.0)
+        # At midnight the clear-sky ceiling is zero: no clearness sample.
+        assert clearsky_ghi(0.0) == 0.0
+        forecast.observe(0.0, 0.0)
+        assert forecast.predict(600.0) == 0.0

@@ -1,0 +1,123 @@
+"""Terminal plotting and trace/summary persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import build_system
+from repro.solar.field import ConstantSource
+from repro.solar.traces import make_day_trace
+from repro.telemetry.io import (
+    export_day_trace_csv,
+    export_recorder_csv,
+    load_day_trace_csv,
+    load_summary_json,
+    save_summary_json,
+)
+from repro.telemetry.plots import bar_chart, channel_panel, histogram, sparkline
+from repro.workloads import VideoSurveillance
+
+
+class TestSparkline:
+    def test_fixed_width(self):
+        assert len(sparkline([1, 2, 3], width=20)) == 20
+
+    def test_empty_is_blank(self):
+        assert sparkline([], width=10) == " " * 10
+
+    def test_monotone_ramp(self):
+        line = sparkline(list(range(100)), width=10)
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_explicit_range_clamps(self):
+        line = sparkline([0.0, 5.0, 10.0], width=3, lo=0.0, hi=5.0)
+        assert line[-1] == "@"  # 10 clamps to the top block
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+        with pytest.raises(ValueError):
+            sparkline([1.0], lo=5.0, hi=1.0)
+
+
+class TestBarChartHistogram:
+    def test_bar_chart_scales_to_peak(self):
+        chart = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_bar_chart_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}) == ""
+
+    def test_histogram_bins(self):
+        text = histogram(np.random.default_rng(0).normal(size=500), bins=5)
+        assert len(text.splitlines()) == 5
+
+    def test_histogram_empty(self):
+        assert histogram([]) == "(no data)"
+
+
+@pytest.fixture(scope="module")
+def run():
+    system = build_system(
+        None, VideoSurveillance(), controller="insure",
+        source=ConstantSource("solar", 900.0), initial_soc=0.7, seed=4,
+    )
+    summary = system.run(2 * 3600.0)
+    return system, summary
+
+
+class TestChannelPanel:
+    def test_renders_all_channels(self, run):
+        system, _ = run
+        panel = channel_panel(system.recorder, ["solar_w", "demand_w"],
+                              labels={"solar_w": "solar"})
+        lines = panel.splitlines()
+        assert len(lines) == 2
+        assert lines[0].strip().startswith("solar")
+
+
+class TestPersistence:
+    def test_recorder_csv_roundtrip(self, run, tmp_path):
+        system, _ = run
+        path = export_recorder_csv(system.recorder, tmp_path / "trace.csv")
+        header = path.read_text().splitlines()[0].split(",")
+        assert header[0] == "t"
+        assert "solar_w" in header
+        body_lines = path.read_text().splitlines()[1:]
+        assert len(body_lines) == len(system.recorder)
+
+    def test_summary_json_roundtrip(self, run, tmp_path):
+        _, summary = run
+        path = save_summary_json(summary, tmp_path / "summary.json",
+                                 extra={"seed": 4})
+        loaded = load_summary_json(path)
+        assert loaded == summary
+
+    def test_extra_keys_cannot_shadow(self, run, tmp_path):
+        _, summary = run
+        with pytest.raises(ValueError):
+            save_summary_json(summary, tmp_path / "x.json",
+                              extra={"processed_gb": 0.0})
+
+    def test_summary_missing_fields_rejected(self, tmp_path):
+        (tmp_path / "bad.json").write_text('{"elapsed_s": 1.0}')
+        with pytest.raises(ValueError):
+            load_summary_json(tmp_path / "bad.json")
+
+    def test_day_trace_csv_roundtrip(self, tmp_path):
+        trace = make_day_trace("cloudy", seed=6, dt_seconds=30.0)
+        path = export_day_trace_csv(trace, tmp_path / "day.csv")
+        loaded = load_day_trace_csv(path)
+        assert loaded.dt_seconds == trace.dt_seconds
+        assert loaded.start_hour == trace.start_hour
+        assert np.allclose(loaded.power_w, trace.power_w)
+
+    def test_empty_trace_file_rejected(self, tmp_path):
+        (tmp_path / "empty.csv").write_text("t_seconds,power_w\n")
+        with pytest.raises(ValueError):
+            load_day_trace_csv(tmp_path / "empty.csv")

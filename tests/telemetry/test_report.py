@@ -1,0 +1,61 @@
+"""Markdown run reports."""
+
+import pytest
+
+from repro.core.system import build_system
+from repro.solar.field import ConstantSource
+from repro.telemetry.report import render_comparison, render_summary
+from repro.workloads import VideoSurveillance
+
+HOUR = 3600.0
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    results = {}
+    for controller in ("insure", "baseline"):
+        system = build_system(
+            None, VideoSurveillance(), controller=controller,
+            source=ConstantSource("solar", 900.0), initial_soc=0.7, seed=4,
+        )
+        results[controller] = system.run(3 * HOUR)
+    return results
+
+
+class TestSummaryReport:
+    def test_contains_all_sections(self, summaries):
+        report = render_summary(summaries["insure"])
+        for section in ("# InSURE day report", "## Service", "## Energy",
+                        "## Energy buffer", "## Control activity"):
+            assert section in report
+
+    def test_custom_title(self, summaries):
+        report = render_summary(summaries["insure"], title="Field log 7")
+        assert report.startswith("# Field log 7")
+
+    def test_numbers_present(self, summaries):
+        summary = summaries["insure"]
+        report = render_summary(summary)
+        assert f"{summary.availability_pct:.1f} %" in report
+        assert str(summary.vm_ctrl_times) in report
+
+    def test_valid_markdown_tables(self, summaries):
+        report = render_summary(summaries["insure"])
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+
+class TestComparisonReport:
+    def test_win_count_line(self, summaries):
+        report = render_comparison(summaries["insure"], summaries["baseline"])
+        assert "wins" in report
+        assert "of 6 metrics" in report
+
+    def test_both_columns_present(self, summaries):
+        report = render_comparison(summaries["insure"], summaries["baseline"])
+        assert "| metric | InSURE | baseline | improvement |" in report
+
+    def test_self_comparison_wins_nothing(self, summaries):
+        report = render_comparison(summaries["insure"], summaries["insure"])
+        assert "wins 0 of 6" in report

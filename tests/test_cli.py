@@ -1,0 +1,80 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_day_defaults(self):
+        args = build_parser().parse_args(["day"])
+        assert args.controller == "insure"
+        assert args.workload == "video"
+        assert args.solar == "sunny"
+
+    def test_invalid_controller(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["day", "--controller", "magic"])
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "5"])
+
+    def test_plan_requires_rate(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan"])
+
+
+class TestCommands:
+    def test_table7(self, capsys):
+        assert main(["table", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "dedup" in out and "GB/kWh" in out
+
+    def test_plan_in_situ_verdict(self, capsys):
+        assert main(["plan", "--gb-per-day", "200", "--days", "365"]) == 0
+        out = capsys.readouterr().out
+        assert "deploy in-situ" in out
+
+    def test_plan_cloud_verdict(self, capsys):
+        assert main(["plan", "--gb-per-day", "0.2", "--days", "365"]) == 0
+        out = capsys.readouterr().out
+        assert "use the cloud" in out
+
+    def test_day_run(self, capsys):
+        code = main([
+            "day", "--workload", "video", "--solar", "rainy",
+            "--mean-w", "300", "--seed", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "uptime" in out and "GB/h" in out
+
+    def test_compare_run(self, capsys):
+        code = main([
+            "compare", "--workload", "video", "--solar", "cloudy",
+            "--mean-w", "450", "--seed", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[insure]" in out and "[baseline]" in out
+        assert "improvement" in out
+
+
+class TestArtifactFlags:
+    def test_day_writes_report_and_trace(self, tmp_path, capsys):
+        report = tmp_path / "day.md"
+        trace = tmp_path / "day.csv"
+        code = main([
+            "day", "--workload", "video", "--solar", "rainy",
+            "--mean-w", "300", "--seed", "2",
+            "--report", str(report), "--trace-csv", str(trace),
+        ])
+        assert code == 0
+        assert report.exists() and report.read_text().startswith("#")
+        header = trace.read_text().splitlines()[0]
+        assert header.startswith("t,")

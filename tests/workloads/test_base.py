@@ -1,0 +1,172 @@
+"""Jobs, queues and the workload base class."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.base import Job, JobQueue, Workload
+
+
+class SteadyWorkload(Workload):
+    """Test double: one fixed-size job queued at construction."""
+
+    gb_per_compute_second = 0.01
+    preferred_vms = 4
+
+    def __init__(self, job_gb=10.0):
+        super().__init__("steady")
+        self.queue.push(Job("j1", job_gb, 0.0))
+
+    def _generate(self, t, dt):
+        pass
+
+
+class TestJob:
+    def test_advance_and_finish(self):
+        job = Job("j", 5.0, 0.0)
+        assert job.advance(3.0, t=10.0) == 3.0
+        assert not job.finished
+        assert job.advance(5.0, t=20.0) == 2.0
+        assert job.finished
+        assert job.completion_t == 20.0
+
+    def test_rollback_to_checkpoint(self):
+        job = Job("j", 10.0, 0.0)
+        job.advance(4.0, 1.0)
+        job.checkpoint()
+        job.advance(3.0, 2.0)
+        lost = job.rollback()
+        assert lost == pytest.approx(3.0)
+        assert job.done_gb == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Job("j", 0.0, 0.0)
+        with pytest.raises(ValueError):
+            Job("j", 1.0, -1.0)
+        job = Job("j", 1.0, 0.0)
+        with pytest.raises(ValueError):
+            job.advance(-1.0, 0.0)
+
+    @given(
+        size=st.floats(0.5, 100.0),
+        chunks=st.lists(st.floats(0.0, 30.0), min_size=1, max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_progress_never_exceeds_size(self, size, chunks):
+        job = Job("j", size, 0.0)
+        for i, chunk in enumerate(chunks):
+            job.advance(chunk, float(i))
+        assert 0.0 <= job.done_gb <= size + 1e-9
+
+
+class TestJobQueue:
+    def test_fifo_head(self):
+        queue = JobQueue()
+        queue.push(Job("a", 1.0, 0.0))
+        queue.push(Job("b", 1.0, 0.0))
+        assert queue.head.job_id == "a"
+
+    def test_retire_finished(self):
+        queue = JobQueue()
+        job = Job("a", 1.0, 0.0)
+        queue.push(job)
+        job.advance(1.0, 5.0)
+        queue.retire_finished()
+        assert len(queue) == 0
+        assert queue.completed == [job]
+
+    def test_backlog(self):
+        queue = JobQueue()
+        queue.push(Job("a", 3.0, 0.0))
+        queue.push(Job("b", 4.0, 0.0))
+        assert queue.backlog_gb == 7.0
+
+
+class TestWorkloadStep:
+    def test_compute_converts_to_progress(self):
+        workload = SteadyWorkload()
+        done = workload.step(0.0, 5.0, compute_seconds=100.0)
+        assert done == pytest.approx(1.0)
+        assert workload.stats.processed_gb == pytest.approx(1.0)
+
+    def test_no_compute_no_progress(self):
+        workload = SteadyWorkload()
+        assert workload.step(0.0, 5.0, 0.0) == 0.0
+
+    def test_completion_records_delay(self):
+        workload = SteadyWorkload(job_gb=1.0)
+        workload.step(0.0, 5.0, compute_seconds=200.0)
+        assert len(workload.stats.delays_s) == 1
+
+    def test_crash_rolls_back(self):
+        workload = SteadyWorkload()
+        workload.step(0.0, 5.0, 100.0)
+        workload.checkpoint_all()
+        workload.step(5.0, 5.0, 100.0)
+        before = workload.stats.processed_gb
+        lost = workload.on_crash()
+        assert lost == pytest.approx(1.0)
+        assert workload.stats.processed_gb == pytest.approx(before - 1.0)
+        assert workload.stats.crash_count == 1
+
+    def test_periodic_checkpoint_limits_loss(self):
+        workload = SteadyWorkload()
+        workload.checkpoint_interval_s = 10.0
+        for i in range(4):
+            workload.step(i * 5.0, 5.0, 10.0)
+        lost = workload.on_crash()
+        # At most one checkpoint interval of progress is lost.
+        assert lost <= 0.01 * 10.0 * 3 + 1e-9
+
+    def test_censored_delay_counts_pending(self):
+        workload = SteadyWorkload(job_gb=100.0)
+        workload.step(0.0, 5.0, 10.0)
+        # After 10 hours, the unfinished job has accrued real delay.
+        assert workload.mean_delay_minutes(36_000.0) > 0.0
+
+    def test_input_validation(self):
+        workload = SteadyWorkload()
+        with pytest.raises(ValueError):
+            workload.step(0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            workload.step(0.0, 5.0, -1.0)
+        with pytest.raises(ValueError):
+            workload.mean_delay_minutes(-1.0)
+
+
+class TestDeadlines:
+    def test_met_deadline(self):
+        job = Job("j", 1.0, 0.0, deadline_t=100.0)
+        job.advance(1.0, t=50.0)
+        assert job.met_deadline is True
+
+    def test_missed_deadline(self):
+        job = Job("j", 1.0, 0.0, deadline_t=100.0)
+        job.advance(1.0, t=150.0)
+        assert job.met_deadline is False
+
+    def test_no_deadline_is_none(self):
+        job = Job("j", 1.0, 0.0)
+        job.advance(1.0, t=50.0)
+        assert job.met_deadline is None
+
+    def test_pending_is_none(self):
+        assert Job("j", 1.0, 0.0, deadline_t=100.0).met_deadline is None
+
+    def test_workload_miss_rate(self):
+        workload = SteadyWorkload.__new__(SteadyWorkload)
+        Workload.__init__(workload, "deadlines")
+        workload.queue.push(Job("on-time", 1.0, 0.0, deadline_t=1e6))
+        workload.queue.push(Job("late", 1.0, 0.0, deadline_t=1.0))
+        workload._generate = lambda t, dt: None
+        workload.gb_per_compute_second = 0.01
+        workload.step(10.0, 5.0, compute_seconds=500.0)
+        assert workload.stats.deadline_total == 2
+        assert workload.stats.deadline_misses == 1
+        assert workload.stats.deadline_miss_rate == 0.5
+
+    def test_miss_rate_zero_without_deadlines(self):
+        workload = SteadyWorkload()
+        workload.step(0.0, 5.0, compute_seconds=10_000.0)
+        assert workload.stats.deadline_miss_rate == 0.0

@@ -1,0 +1,78 @@
+"""Staged seismic pipeline: stage geometry and checkpoint semantics."""
+
+import pytest
+
+from repro.workloads.pipeline import (
+    DEFAULT_STAGES,
+    PipelineStage,
+    StagedSeismicAnalysis,
+)
+
+
+@pytest.fixture
+def workload():
+    return StagedSeismicAnalysis(initial_backlog_jobs=1)
+
+
+class TestStageGeometry:
+    def test_default_stages_sum_to_one(self):
+        assert sum(s.work_fraction for s in DEFAULT_STAGES) == pytest.approx(1.0)
+
+    def test_boundaries_cumulative(self, workload):
+        marks = workload.stage_boundaries_gb(100.0)
+        assert marks == pytest.approx([25.0, 60.0, 80.0, 100.0])
+
+    def test_current_stage_lookup(self, workload):
+        assert workload.current_stage(10.0, 100.0).name == "deconvolution"
+        assert workload.current_stage(30.0, 100.0).name == "velocity-analysis"
+        assert workload.current_stage(99.9, 100.0).name == "migration"
+
+    def test_last_boundary(self, workload):
+        assert workload.last_boundary_before(10.0, 100.0) == 0.0
+        assert workload.last_boundary_before(30.0, 100.0) == 25.0
+        assert workload.last_boundary_before(100.0, 100.0) == 100.0
+
+    def test_bad_stage_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            StagedSeismicAnalysis(stages=(PipelineStage("only", 0.7),))
+        with pytest.raises(ValueError):
+            PipelineStage("bad", 0.0)
+
+    def test_lookup_validation(self, workload):
+        with pytest.raises(ValueError):
+            workload.current_stage(-1.0, 100.0)
+
+
+class TestCheckpointSemantics:
+    def test_checkpoint_snaps_to_boundary(self, workload):
+        job = workload.queue.head
+        job.done_gb = 40.0  # mid velocity-analysis (boundary at 28.5 GB)
+        workload.checkpoint_all()
+        assert job.checkpoint_gb == pytest.approx(0.25 * job.size_gb)
+
+    def test_crash_loses_inflight_stage(self, workload):
+        job = workload.queue.head
+        job.done_gb = 40.0
+        workload.checkpoint_all()
+        lost = workload.on_crash()
+        assert lost == pytest.approx(40.0 - 0.25 * job.size_gb)
+
+    def test_checkpoint_never_regresses(self, workload):
+        job = workload.queue.head
+        job.done_gb = 40.0
+        workload.checkpoint_all()
+        job.done_gb = 26.0  # hypothetical rollback artefact
+        workload.checkpoint_all()
+        assert job.checkpoint_gb == pytest.approx(0.25 * job.size_gb)
+
+    def test_plain_model_loses_less(self):
+        """The staged model is strictly more pessimistic about crashes
+        than the plain interval-checkpointing one."""
+        from repro.workloads.seismic import SeismicAnalysis
+
+        staged = StagedSeismicAnalysis(initial_backlog_jobs=1)
+        plain = SeismicAnalysis(initial_backlog_jobs=1)
+        for workload in (staged, plain):
+            workload.queue.head.done_gb = 40.0
+            workload.checkpoint_all()
+        assert staged.queue.head.checkpoint_gb <= plain.queue.head.checkpoint_gb
