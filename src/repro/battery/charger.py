@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.battery.unit import BatteryUnit
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChargeResult:
     """Outcome of one charging step across the bank."""
 
@@ -104,27 +104,30 @@ class SolarCharger:
 
         # Water-filling: grant each cabinet min(even share, acceptance
         # ceiling); redistribute leftovers until the budget is exhausted.
-        grants = {unit.name: 0.0 for unit in connected}
-        active = list(connected)
+        # Voltage and ceiling are invariant across rounds (no charge lands
+        # until allocation finishes), so compute them once per cabinet.
+        # Entries are [unit, voltage, ceiling_w, granted_w].
+        plan = []
+        for unit in connected:
+            voltage = max(unit.terminal_voltage, unit.params.voltage.emf_empty)
+            ceiling_w = unit.max_charge_current() * voltage
+            plan.append([unit, voltage, ceiling_w, 0.0])
+        active = list(plan)
         for _ in range(4):
             if remaining <= 1e-9 or not active:
                 break
             share = remaining / len(active)
             next_active = []
-            for unit in active:
-                voltage = max(unit.terminal_voltage, unit.params.voltage.emf_empty)
-                ceiling_w = unit.max_charge_current() * voltage
-                headroom = max(0.0, ceiling_w - grants[unit.name])
+            for entry in active:
+                headroom = max(0.0, entry[2] - entry[3])
                 grant = min(share, headroom)
-                grants[unit.name] += grant
+                entry[3] += grant
                 remaining -= grant
                 if grant >= share - 1e-9:
-                    next_active.append(unit)
+                    next_active.append(entry)
             active = next_active
 
-        for unit in connected:
-            watts = grants[unit.name]
-            voltage = max(unit.terminal_voltage, unit.params.voltage.emf_empty)
+        for unit, voltage, _ceiling, watts in plan:
             applied = watts / voltage
             if applied <= 0.0:
                 unit.idle(dt_seconds)

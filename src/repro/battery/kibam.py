@@ -25,6 +25,8 @@ interface takes seconds to match the simulation clock.
 
 from __future__ import annotations
 
+import math
+
 from repro.battery.params import KiBaMParams
 
 _SECONDS_PER_HOUR = 3600.0
@@ -43,14 +45,23 @@ class KiBaM:
         Initial state of charge in [0, 1]; both wells start at equal head.
     """
 
-    def __init__(self, capacity_ah: float, params: KiBaMParams, soc: float = 1.0) -> None:
+    def __init__(
+        self,
+        capacity_ah: float,
+        params: KiBaMParams,
+        soc: float = 1.0,
+        integrator: str = "euler",
+    ) -> None:
         if capacity_ah <= 0:
             raise ValueError("capacity_ah must be positive")
         if not 0.0 <= soc <= 1.0:
             raise ValueError(f"initial soc must be in [0,1], got {soc}")
+        if integrator not in ("euler", "exact"):
+            raise ValueError(f"integrator must be 'euler' or 'exact', got {integrator!r}")
         params.validate()
         self.capacity_ah = float(capacity_ah)
         self.params = params
+        self.integrator = integrator
         self.y1 = soc * params.c * capacity_ah
         self.y2 = soc * (1.0 - params.c) * capacity_ah
 
@@ -96,19 +107,67 @@ class KiBaM:
         """
         if dt_seconds <= 0:
             raise ValueError("dt_seconds must be positive")
+        if self.integrator == "exact":
+            return self.apply_current_exact(amps, dt_seconds)
         dt_h = dt_seconds / _SECONDS_PER_HOUR
         p = self.params
+        capacity = self.capacity_ah
+        c = p.c
+        y1 = self.y1
+        y2 = self.y2
         # Classic KiBaM flow: k' * (h2 - h1) with heads in charge units, i.e.
         # k * c * (1-c) * capacity * (normalised head difference), in Ah/h.
-        k_eff = p.k_per_hour * p.c * (1.0 - p.c) * self.capacity_ah
+        k_eff = p.k_per_hour * c * (1.0 - c) * capacity
 
-        diffusion = k_eff * (self.bound_head - self.available_head) * dt_h
+        diffusion = k_eff * (y2 / ((1.0 - c) * capacity) - y1 / (c * capacity)) * dt_h
         requested = amps * dt_h  # Ah removed from the available well.
 
-        y1_new = self.y1 - requested + diffusion
-        y2_new = self.y2 - diffusion
+        y1_new = y1 - requested + diffusion
+        y2_new = y2 - diffusion
+        return self._clamp_wells(y1_new, y2_new, requested)
 
-        # Clamp the available well; report what actually moved.
+    def apply_current_exact(self, amps: float, dt_seconds: float) -> float:
+        """Integrate one step with the closed-form (exponential) solution.
+
+        The two-well ODE is linear with constant coefficients, so for a
+        constant current ``i`` it has an exact solution: total charge drains
+        at exactly ``i`` while the head difference ``D = h2 - h1`` relaxes
+        exponentially toward its steady state ``i / (k c C)`` at rate ``k``:
+
+            y(t)  = y0 - i t
+            D(t)  = D_inf + (D0 - D_inf) e^{-k t},  D_inf = i / (k c C)
+            y1(t) = c y(t) - c (1-c) C D(t)
+
+        Unlike forward Euler this is accurate for *any* step size, so
+        battery state can advance over large internal substeps with no
+        accuracy loss.  Well clamping at empty/full uses the same rules as
+        the Euler step, so the ampere-hours reported as moved stay exactly
+        consistent with the change in total stored charge.
+        """
+        if dt_seconds <= 0:
+            raise ValueError("dt_seconds must be positive")
+        dt_h = dt_seconds / _SECONDS_PER_HOUR
+        p = self.params
+        capacity = self.capacity_ah
+        c = p.c
+        k = p.k_per_hour
+        y1 = self.y1
+        y2 = self.y2
+
+        total0 = y1 + y2
+        d0 = y2 / ((1.0 - c) * capacity) - y1 / (c * capacity)
+        d_inf = amps / (k * c * capacity)
+        d_t = d_inf + (d0 - d_inf) * math.exp(-k * dt_h)
+        requested = amps * dt_h
+        total_t = total0 - requested
+
+        y1_new = c * total_t - c * (1.0 - c) * capacity * d_t
+        y2_new = total_t - y1_new
+        return self._clamp_wells(y1_new, y2_new, requested)
+
+    def _clamp_wells(self, y1_new: float, y2_new: float, requested: float) -> float:
+        """Clamp both wells to their physical range; report what moved."""
+        p = self.params
         y1_cap = p.c * self.capacity_ah
         moved = requested
         if y1_new < 0.0:

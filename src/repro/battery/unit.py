@@ -53,6 +53,17 @@ class BatteryUnit:
         self.mode = BatteryMode.STANDBY
         #: Signed current applied in the most recent step (+ = discharge).
         self.last_current = 0.0
+        #: Memo for :attr:`terminal_voltage` — the bus, the sensing chain
+        #: and the metrics collector all read it against the same state
+        #: within one tick.  Keyed by (y1, last_current), its only inputs.
+        self._tv_y1 = float("nan")
+        self._tv_current = float("nan")
+        self._tv_value = 0.0
+        #: Memo for :meth:`max_discharge_current` — the bus computes it for
+        #: its split plan and :meth:`apply_discharge` re-checks it within
+        #: the same tick.  Pure in the well levels and the step length.
+        self._mdc_key: tuple[float, float, float] | None = None
+        self._mdc_value = 0.0
 
     # ------------------------------------------------------------------
     # Observables
@@ -64,7 +75,15 @@ class BatteryUnit:
     @property
     def terminal_voltage(self) -> float:
         """Terminal voltage at the most recently applied current."""
-        return self.voltage_model.terminal(self.kibam.available_head, self.last_current)
+        y1 = self.kibam.y1
+        current = self.last_current
+        if y1 != self._tv_y1 or current != self._tv_current:
+            self._tv_y1 = y1
+            self._tv_current = current
+            self._tv_value = self.voltage_model.terminal(
+                self.kibam.available_head, current
+            )
+        return self._tv_value
 
     @property
     def open_circuit_voltage(self) -> float:
@@ -84,9 +103,13 @@ class BatteryUnit:
     # ------------------------------------------------------------------
     def max_discharge_current(self, dt_seconds: float) -> float:
         """Largest discharge current honouring both kinetics and the LVD."""
-        kinetic = self.kibam.max_discharge_current(dt_seconds)
-        cutoff = self.voltage_model.max_discharge_for_cutoff(self.kibam.available_head)
-        return max(0.0, min(kinetic, cutoff))
+        key = (self.kibam.y1, self.kibam.y2, dt_seconds)
+        if key != self._mdc_key:
+            kinetic = self.kibam.max_discharge_current(dt_seconds)
+            cutoff = self.voltage_model.max_discharge_for_cutoff(self.kibam.available_head)
+            self._mdc_key = key
+            self._mdc_value = max(0.0, min(kinetic, cutoff))
+        return self._mdc_value
 
     def max_charge_current(self) -> float:
         """Acceptance ceiling at the current state of charge."""

@@ -21,12 +21,17 @@ class VoltageModel:
 
     def emf(self, available_head: float) -> float:
         """Open-circuit EMF as a function of the available-well head."""
-        head = min(max(available_head, 0.0), 1.0)
+        head = available_head
+        if head < 0.0:
+            head = 0.0
+        elif head > 1.0:
+            head = 1.0
         p = self.params
         # Mildly convex profile: lead-acid voltage falls slowly over the
         # mid range and quickly near empty.
         shaped = head ** 0.75
-        return p.emf_empty + (p.emf_full - p.emf_empty) * shaped
+        empty = p.emf_empty
+        return empty + (p.emf_full - empty) * shaped
 
     def terminal(self, available_head: float, amps: float) -> float:
         """Terminal voltage at signed current (positive = discharge).

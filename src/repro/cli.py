@@ -6,6 +6,8 @@ Run reproduction experiments without writing code::
     python -m repro compare --workload seismic --mean-w 500
     python -m repro table 2
     python -m repro table 7
+    python -m repro figure 20 --jobs 4
+    python -m repro cache info
     python -m repro plan --gb-per-day 120 --sunshine 0.7 --days 180
 """
 
@@ -113,7 +115,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
     elif args.number == 6:
         from repro.experiments.table6 import format_table6, run_table6
 
-        print(format_table6(run_table6()))
+        print(format_table6(run_table6(max_workers=args.jobs,
+                                       use_cache=not args.no_cache)))
     elif args.number == 7:
         from repro.experiments.table7 import efficiency_gains, run_table7
 
@@ -126,6 +129,38 @@ def _cmd_table(args: argparse.Namespace) -> int:
         print("  gains:", {k: round(v, 1) for k, v in gains.items()})
     else:
         raise SystemExit(f"table {args.number} not available (use 2, 3, 6 or 7)")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.fullsystem import run_figure20, run_figure21
+
+    runner = {20: run_figure20, 21: run_figure21}[args.number]
+    results = runner(seed=args.seed, max_workers=args.jobs,
+                     use_cache=not args.no_cache)
+    workload = {20: "seismic batch", 21: "video stream"}[args.number]
+    print(f"Figure {args.number} — {workload}, InSURE improvement over baseline")
+    for level in ("high", "low"):
+        comparison = results[level]
+        print(f"\n[{level} solar — {comparison.solar_mean_w:.0f} W avg]")
+        for metric, value in comparison.improvements.items():
+            print(f"  {metric:16s} {value * 100:+7.0f} %")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.sim.cache import ENV_VAR, default_cache
+
+    cache = default_cache()
+    if args.action == "info":
+        if not cache.enabled:
+            print(f"cache disabled ({ENV_VAR}={'off'!r})")
+        else:
+            print(f"directory: {cache.directory}")
+            print(f"entries:   {cache.entry_count()}")
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached run(s)")
     return 0
 
 
@@ -170,9 +205,27 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_options(compare)
     compare.set_defaults(func=_cmd_compare)
 
+    def add_matrix_options(p):
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the cell matrix "
+                            "(default: REPRO_WORKERS env or CPU count)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk run cache")
+
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=(2, 3, 6, 7))
+    add_matrix_options(table)
     table.set_defaults(func=_cmd_table)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure matrix")
+    figure.add_argument("number", type=int, choices=(20, 21))
+    figure.add_argument("--seed", type=int, default=1)
+    add_matrix_options(figure)
+    figure.set_defaults(func=_cmd_figure)
+
+    cache = sub.add_parser("cache", help="inspect or clear the run cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.set_defaults(func=_cmd_cache)
 
     plan = sub.add_parser("plan", help="in-situ vs cloud deployment economics")
     plan.add_argument("--gb-per-day", type=float, required=True)

@@ -54,8 +54,13 @@ class ServerProfile:
 
     def power_at(self, utilisation: float) -> float:
         """Wall power at a given utilisation in [0, 1]."""
-        u = min(max(utilisation, 0.0), 1.0)
-        return self.idle_w + (self.peak_w - self.idle_w) * u
+        u = utilisation
+        if u < 0.0:
+            u = 0.0
+        elif u > 1.0:
+            u = 1.0
+        idle = self.idle_w
+        return idle + (self.peak_w - idle) * u
 
     @property
     def cycle_overhead_s(self) -> float:

@@ -50,7 +50,7 @@ class ServerRack(Component):
         return sum(s.profile.vm_slots for s in self.servers)
 
     def running_vm_count(self) -> int:
-        return sum(len(s.running_vms()) for s in self.servers)
+        return sum(s.running_vm_count() for s in self.servers)
 
     def placed_vm_count(self) -> int:
         return sum(len(s.vms) for s in self.servers)
@@ -60,7 +60,7 @@ class ServerRack(Component):
 
     def serving(self) -> bool:
         """Whether at least one VM is doing useful work right now."""
-        return any(s.running_vms() for s in self.servers)
+        return any(s.running_vm_count() for s in self.servers)
 
     def fully_serving(self) -> bool:
         """Whether every placed VM is running (no boot/save in progress)."""

@@ -60,6 +60,16 @@ class Server:
             return []
         return [vm for vm in self.vms if vm.running]
 
+    def running_vm_count(self) -> int:
+        """Number of running VMs, without building a list (hot path)."""
+        if self.state is not ServerState.ON:
+            return 0
+        count = 0
+        for vm in self.vms:
+            if vm.running:
+                count += 1
+        return count
+
     # ------------------------------------------------------------------
     # Power state machine
     # ------------------------------------------------------------------
@@ -122,18 +132,23 @@ class Server:
     def utilisation(self) -> float:
         if self.state is not ServerState.ON:
             return 0.0
-        return min(1.0, sum(vm.cpu_share for vm in self.vms if vm.running) * self.duty)
+        share = 0.0
+        for vm in self.vms:
+            if vm.running:
+                share += vm.cpu_share
+        return min(1.0, share * self.duty)
 
     @property
     def power_w(self) -> float:
         """Instantaneous wall power draw."""
-        if self.state is ServerState.OFF:
+        state = self.state
+        if state is ServerState.ON:
+            return self.profile.power_at(self.utilisation)
+        if state is ServerState.OFF:
             return 0.0
-        if self.state is ServerState.BOOTING:
+        if state is ServerState.BOOTING:
             return self.profile.idle_w
-        if self.state is ServerState.SAVING:
-            return self.profile.power_at(0.15)
-        return self.profile.power_at(self.utilisation)
+        return self.profile.power_at(0.15)
 
     def compute_seconds(self, dt_seconds: float) -> float:
         """Useful VM-compute-seconds produced this tick.
@@ -143,5 +158,5 @@ class Server:
         """
         if self.state is not ServerState.ON:
             return 0.0
-        n_running = len(self.running_vms())
+        n_running = self.running_vm_count()
         return n_running * self.duty * self.profile.relative_speed * dt_seconds

@@ -81,6 +81,8 @@ class BatteryTelemetry:
             )
             for unit in bank
         }
+        #: (unit, sense) pairs in register order, for the refresh hot loop.
+        self._rows = [(unit, self.senses[unit.name]) for unit in bank]
 
     @staticmethod
     def _v_source(unit: BatteryUnit):
@@ -99,25 +101,32 @@ class BatteryTelemetry:
             raise ValueError("dt_seconds must be positive")
         count = len(self.bank) * _REGS_PER_BATTERY
         registers = self.master.read_input(0, count)
-        for index, unit in enumerate(self.bank):
-            sense = self.senses[unit.name]
-            sense.voltage = decode_fixed(registers[index * _REGS_PER_BATTERY], _V_SCALE)
-            sense.current = decode_fixed(registers[index * _REGS_PER_BATTERY + 1], _I_SCALE)
+        base = 0
+        for unit, sense in self._rows:
+            sense.voltage = decode_fixed(registers[base], _V_SCALE)
+            sense.current = decode_fixed(registers[base + 1], _I_SCALE)
             self._update_estimates(unit, sense, dt_seconds)
+            base += _REGS_PER_BATTERY
         return self.senses
 
     def _update_estimates(self, unit: BatteryUnit, sense: BatterySense,
                           dt_seconds: float) -> None:
         capacity = unit.params.capacity_ah
-        delta_ah = sense.current * dt_seconds / 3600.0
-        sense.soc_estimate = min(1.0, max(0.0, sense.soc_estimate - delta_ah / capacity))
-        if sense.current > 0.25:
+        current = sense.current
+        delta_ah = current * dt_seconds / 3600.0
+        estimate = sense.soc_estimate - delta_ah / capacity
+        if estimate < 0.0:
+            estimate = 0.0
+        elif estimate > 1.0:
+            estimate = 1.0
+        sense.soc_estimate = estimate
+        if current > 0.25:
             sense.discharge_ah += delta_ah
 
         # Re-anchor from open-circuit voltage after a sustained rest, the
         # standard lead-acid practice: OCV is a reliable SoC proxy only at
         # equilibrium.
-        if sense.is_resting:
+        if -0.25 < current < 0.25:
             sense.rest_seconds += dt_seconds
             if sense.rest_seconds >= 300.0:
                 ocv_soc = self._soc_from_ocv(unit, sense.voltage)

@@ -69,12 +69,16 @@ class PlantCoupler(Component):
         self.events = events
         self.last_report: BusReport | None = None
         self.shed_events = 0
+        #: Rack demand sampled this tick, still valid for downstream
+        #: readers (None whenever a shed changed the rack afterwards).
+        self.last_server_demand_w: float | None = None
 
     def step(self, clock: Clock) -> None:
         solar = self.source.available_power_w
         demand = self.rack.demand_w
         report = self.bus.resolve(solar, demand, clock.dt)
         self.last_report = report
+        self.last_server_demand_w = demand
 
         compute = self.rack.last_compute_seconds
         shed_threshold = max(_UNSERVED_TOLERANCE_W,
@@ -87,6 +91,7 @@ class PlantCoupler(Component):
             self.events.emit(clock.t, "power.unserved", self.name,
                              watts=report.unserved_w)
             compute = 0.0
+            self.last_server_demand_w = None  # rack state changed under us
         self.workload.step(clock.t, clock.dt, compute)
 
 

@@ -15,7 +15,6 @@ from dataclasses import dataclass
 from repro.cost.transfer import (
     CELLULAR_HARDWARE_USD,
     SATELLITE_HARDWARE_USD,
-    SATELLITE_MONTHLY_USD,
     satellite_plan_monthly_usd,
     transfer_cost_usd,
 )

@@ -19,12 +19,21 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cluster.profiles import CORE_I7, XEON_DL380
-from repro.core.system import InSituSystem, build_system
+from repro.core.system import build_system
+from repro.experiments.runner import run_cells
 from repro.power.secondary import DieselGenerator, HybridSource
+from repro.sim.cache import (
+    cache_key,
+    default_cache,
+    summary_from_payload,
+    summary_to_payload,
+)
 from repro.solar.field import TracePlayer
 from repro.solar.traces import DayTrace, make_day_trace
 from repro.telemetry.metrics import RunSummary
 from repro.workloads import VideoSurveillance
+
+_SERVER_PROFILES = {"xeon": XEON_DL380, "i7": CORE_I7}
 
 
 @dataclass
@@ -47,21 +56,55 @@ class HeteroResult:
         return i7_eff / max(xeon_eff, 1e-9)
 
 
-def run_heterogeneous_day(seed: int = 5, mean_w: float = 500.0) -> HeteroResult:
-    """Same cloudy day and buffer; only the server generation differs."""
-    results = {}
-    for label, profile in (("xeon", XEON_DL380), ("i7", CORE_I7)):
-        trace = make_day_trace("cloudy", seed=seed, target_mean_w=mean_w)
-        system = build_system(
-            trace,
-            VideoSurveillance(),
-            controller="insure",
-            server_profile=profile,
+def run_hetero_cell(
+    server_kind: str,
+    seed: int = 5,
+    mean_w: float = 500.0,
+    use_cache: bool = True,
+) -> RunSummary:
+    """One cloudy-day run on a given server generation (picklable)."""
+    profile = _SERVER_PROFILES[server_kind]
+    cache = default_cache() if use_cache else None
+    key = None
+    if cache is not None and cache.enabled:
+        key = cache_key(
+            "extensions.hetero",
+            server_kind=server_kind,
             seed=seed,
-            initial_soc=0.55,
+            mean_w=mean_w,
         )
-        results[label] = system.run()
-    return HeteroResult(xeon=results["xeon"], i7=results["i7"])
+        cached = cache.get(key)
+        if cached is not None:
+            return summary_from_payload(cached)
+
+    trace = make_day_trace("cloudy", seed=seed, target_mean_w=mean_w)
+    system = build_system(
+        trace,
+        VideoSurveillance(),
+        controller="insure",
+        server_profile=profile,
+        seed=seed,
+        initial_soc=0.55,
+    )
+    summary = system.run()
+    if cache is not None and key is not None:
+        cache.put(key, summary_to_payload(summary))
+    return summary
+
+
+def run_heterogeneous_day(
+    seed: int = 5,
+    mean_w: float = 500.0,
+    max_workers: int | None = None,
+    use_cache: bool = True,
+) -> HeteroResult:
+    """Same cloudy day and buffer; only the server generation differs."""
+    cells = [
+        dict(server_kind=kind, seed=seed, mean_w=mean_w, use_cache=use_cache)
+        for kind in ("xeon", "i7")
+    ]
+    xeon, i7 = run_cells(run_hetero_cell, cells, max_workers=max_workers)
+    return HeteroResult(xeon=xeon, i7=i7)
 
 
 @dataclass
@@ -121,7 +164,42 @@ class StoragePressureResult:
         return 1.0 - self.insure.dropped_gb / self.baseline.dropped_gb
 
 
-def run_storage_pressure_day(seed: int = 8, disk_gb: float = 10.0) -> StoragePressureResult:
+def run_storage_cell(
+    controller: str,
+    seed: int = 8,
+    disk_gb: float = 10.0,
+    use_cache: bool = True,
+) -> RunSummary:
+    """One storage-pressure run for a given controller (picklable)."""
+    cache = default_cache() if use_cache else None
+    key = None
+    if cache is not None and cache.enabled:
+        key = cache_key(
+            "extensions.storage_pressure",
+            controller=controller,
+            seed=seed,
+            disk_gb=disk_gb,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return summary_from_payload(cached)
+
+    trace = make_day_trace("sunny", seed=seed, target_energy_kwh=9.5)
+    workload = VideoSurveillance(rate_gb_per_min=0.105)
+    system = build_system(trace, workload, controller=controller,
+                          seed=seed, initial_soc=0.35, storage_gb=disk_gb)
+    summary = system.run()
+    if cache is not None and key is not None:
+        cache.put(key, summary_to_payload(summary))
+    return summary
+
+
+def run_storage_pressure_day(
+    seed: int = 8,
+    disk_gb: float = 10.0,
+    max_workers: int | None = None,
+    use_cache: bool = True,
+) -> StoragePressureResult:
     """A 12-camera surveillance day with only ``disk_gb`` of buffer.
 
     The stream keeps arriving whether or not the servers run, and the
@@ -130,15 +208,14 @@ def run_storage_pressure_day(seed: int = 8, disk_gb: float = 10.0) -> StoragePre
     to spare later.  (With the full 24-camera load, loss is energy-bound
     and both systems drop alike — the interesting regime is this one.)
     """
-    results = {}
-    for controller in ("insure", "baseline"):
-        trace = make_day_trace("sunny", seed=seed, target_energy_kwh=9.5)
-        workload = VideoSurveillance(rate_gb_per_min=0.105)
-        system = build_system(trace, workload, controller=controller,
-                              seed=seed, initial_soc=0.35, storage_gb=disk_gb)
-        results[controller] = system.run()
-    return StoragePressureResult(insure=results["insure"],
-                                 baseline=results["baseline"])
+    cells = [
+        dict(controller=controller, seed=seed, disk_gb=disk_gb,
+             use_cache=use_cache)
+        for controller in ("insure", "baseline")
+    ]
+    insure, baseline = run_cells(run_storage_cell, cells,
+                                 max_workers=max_workers)
+    return StoragePressureResult(insure=insure, baseline=baseline)
 
 
 @dataclass

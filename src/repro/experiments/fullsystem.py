@@ -4,6 +4,12 @@ Runs the complete installation on the paper's scaled solar traces
 (1000 W and 500 W average) under InSURE and the baseline, for the batch
 (seismic) and stream (video) case studies, and reports the six-metric
 improvement vectors.
+
+Each (controller, workload, solar, seed) cell is an independent
+deterministic run, so the figure matrices fan out through
+:mod:`repro.experiments.runner` and individual cell summaries are memoised
+in the content-addressed run cache (:mod:`repro.sim.cache`) — repeating an
+identical configuration replays from disk instead of re-simulating.
 """
 
 from __future__ import annotations
@@ -11,6 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.system import build_system
+from repro.experiments.runner import run_cells
+from repro.sim.cache import (
+    cache_key,
+    default_cache,
+    summary_from_payload,
+    summary_to_payload,
+)
 from repro.solar.traces import make_day_trace
 from repro.telemetry.analyzer import all_improvements
 from repro.telemetry.metrics import RunSummary
@@ -43,28 +56,74 @@ def _make_workload(kind: str):
     raise ValueError(f"unknown workload kind {kind!r}")
 
 
+def run_single(
+    controller: str,
+    workload_kind: str,
+    profile: str,
+    solar_mean_w: float,
+    seed: int = 1,
+    initial_soc: float = 0.55,
+    dt: float = 5.0,
+    use_cache: bool = True,
+) -> RunSummary:
+    """One deterministic full-system run, memoised in the run cache.
+
+    This is the unit of work the parallel runner distributes: module-level
+    (picklable), fully parameterised, and returning only the summary.
+    """
+    cache = default_cache() if use_cache else None
+    key = None
+    if cache is not None and cache.enabled:
+        key = cache_key(
+            "fullsystem.run_single",
+            controller=controller,
+            workload=workload_kind,
+            profile=profile,
+            solar_mean_w=solar_mean_w,
+            seed=seed,
+            initial_soc=initial_soc,
+            dt=dt,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return summary_from_payload(cached)
+
+    trace = make_day_trace(profile, dt_seconds=dt, seed=seed,
+                           target_mean_w=solar_mean_w)
+    system = build_system(
+        trace,
+        _make_workload(workload_kind),
+        controller=controller,
+        seed=seed,
+        initial_soc=initial_soc,
+        dt=dt,
+    )
+    summary = system.run()
+    if cache is not None and key is not None:
+        cache.put(key, summary_to_payload(summary))
+    return summary
+
+
+def _profile_for(solar_mean_w: float) -> str:
+    return "sunny" if solar_mean_w >= 800.0 else "cloudy"
+
+
 def run_fullsystem_comparison(
     workload_kind: str,
     solar_mean_w: float,
     seed: int = 1,
     initial_soc: float = 0.55,
     dt: float = 5.0,
+    use_cache: bool = True,
 ) -> ComparisonResult:
     """One cell of the Figures 20/21 matrix."""
-    profile = "sunny" if solar_mean_w >= 800.0 else "cloudy"
+    profile = _profile_for(solar_mean_w)
     results: dict[str, RunSummary] = {}
     for controller in ("insure", "baseline"):
-        trace = make_day_trace(profile, dt_seconds=dt, seed=seed,
-                               target_mean_w=solar_mean_w)
-        system = build_system(
-            trace,
-            _make_workload(workload_kind),
-            controller=controller,
-            seed=seed,
-            initial_soc=initial_soc,
-            dt=dt,
+        results[controller] = run_single(
+            controller, workload_kind, profile, solar_mean_w,
+            seed=seed, initial_soc=initial_soc, dt=dt, use_cache=use_cache,
         )
-        results[controller] = system.run()
     return ComparisonResult(
         workload=workload_kind,
         solar_mean_w=solar_mean_w,
@@ -73,17 +132,49 @@ def run_fullsystem_comparison(
     )
 
 
-def run_figure20(seed: int = 1) -> dict[str, ComparisonResult]:
+def _run_figure_matrix(
+    workload_kind: str,
+    seed: int,
+    max_workers: int | None,
+    use_cache: bool,
+) -> dict[str, ComparisonResult]:
+    """Fan the four (level × controller) cells out across workers."""
+    cells = []
+    for mean_w in (HIGH_MEAN_W, LOW_MEAN_W):
+        for controller in ("insure", "baseline"):
+            cells.append(dict(
+                controller=controller,
+                workload_kind=workload_kind,
+                profile=_profile_for(mean_w),
+                solar_mean_w=mean_w,
+                seed=seed,
+                use_cache=use_cache,
+            ))
+    summaries = run_cells(run_single, cells, max_workers=max_workers)
+    results = {}
+    for label, mean_w, offset in (("high", HIGH_MEAN_W, 0), ("low", LOW_MEAN_W, 2)):
+        results[label] = ComparisonResult(
+            workload=workload_kind,
+            solar_mean_w=mean_w,
+            insure=summaries[offset],
+            baseline=summaries[offset + 1],
+        )
+    return results
+
+
+def run_figure20(
+    seed: int = 1,
+    max_workers: int | None = None,
+    use_cache: bool = True,
+) -> dict[str, ComparisonResult]:
     """Figure 20: in-situ batch job at high and low solar."""
-    return {
-        "high": run_fullsystem_comparison("seismic", HIGH_MEAN_W, seed),
-        "low": run_fullsystem_comparison("seismic", LOW_MEAN_W, seed),
-    }
+    return _run_figure_matrix("seismic", seed, max_workers, use_cache)
 
 
-def run_figure21(seed: int = 1) -> dict[str, ComparisonResult]:
+def run_figure21(
+    seed: int = 1,
+    max_workers: int | None = None,
+    use_cache: bool = True,
+) -> dict[str, ComparisonResult]:
     """Figure 21: in-situ data stream at high and low solar."""
-    return {
-        "high": run_fullsystem_comparison("video", HIGH_MEAN_W, seed),
-        "low": run_fullsystem_comparison("video", LOW_MEAN_W, seed),
-    }
+    return _run_figure_matrix("video", seed, max_workers, use_cache)

@@ -11,10 +11,68 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.system import build_system
+from repro.experiments.runner import run_cells
+from repro.sim.cache import (
+    cache_key,
+    default_cache,
+    summary_from_payload,
+    summary_to_payload,
+)
 from repro.solar.traces import HIGH_TRACE_MEAN_W, LOW_TRACE_MEAN_W, make_day_trace
 from repro.telemetry.analyzer import improvement
 from repro.telemetry.metrics import RunSummary
 from repro.workloads.micro import FIGURE17_BENCHMARKS, MicroWorkload
+
+
+def _solar_point(solar_level: str) -> tuple[float, str]:
+    if solar_level == "high":
+        return HIGH_TRACE_MEAN_W, "sunny"
+    if solar_level == "low":
+        return LOW_TRACE_MEAN_W, "cloudy"
+    raise ValueError(f"solar_level must be 'high' or 'low', got {solar_level!r}")
+
+
+def run_micro_cell(
+    benchmark: str,
+    solar_level: str,
+    controller: str,
+    seed: int = 1,
+    initial_soc: float = 0.55,
+    dt: float = 5.0,
+    use_cache: bool = True,
+) -> RunSummary:
+    """One (benchmark, solar, controller) run, memoised (picklable)."""
+    mean_w, profile = _solar_point(solar_level)
+    cache = default_cache() if use_cache else None
+    key = None
+    if cache is not None and cache.enabled:
+        key = cache_key(
+            "micro_sweep.cell",
+            benchmark=benchmark,
+            solar_level=solar_level,
+            controller=controller,
+            seed=seed,
+            initial_soc=initial_soc,
+            dt=dt,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return summary_from_payload(cached)
+
+    trace = make_day_trace(profile, dt_seconds=dt, seed=seed,
+                           target_mean_w=mean_w)
+    system = build_system(
+        trace,
+        MicroWorkload(benchmark),
+        controller=controller,
+        seed=seed,
+        initial_soc=initial_soc,
+        dt=dt,
+    )
+    summary = system.run()
+    if cache is not None and key is not None:
+        cache.put(key, summary_to_payload(summary))
+    return summary
 
 
 @dataclass
@@ -51,28 +109,16 @@ def run_micro_comparison(
     seed: int = 1,
     initial_soc: float = 0.55,
     dt: float = 5.0,
+    use_cache: bool = True,
 ) -> MicroComparison:
     """One benchmark x solar-level cell of Figures 17-19."""
-    if solar_level == "high":
-        mean_w, profile = HIGH_TRACE_MEAN_W, "sunny"
-    elif solar_level == "low":
-        mean_w, profile = LOW_TRACE_MEAN_W, "cloudy"
-    else:
-        raise ValueError(f"solar_level must be 'high' or 'low', got {solar_level!r}")
-
+    _solar_point(solar_level)  # validate the level before running anything
     results: dict[str, RunSummary] = {}
     for controller in ("insure", "baseline"):
-        trace = make_day_trace(profile, dt_seconds=dt, seed=seed,
-                               target_mean_w=mean_w)
-        system = build_system(
-            trace,
-            MicroWorkload(benchmark),
-            controller=controller,
-            seed=seed,
-            initial_soc=initial_soc,
-            dt=dt,
+        results[controller] = run_micro_cell(
+            benchmark, solar_level, controller,
+            seed=seed, initial_soc=initial_soc, dt=dt, use_cache=use_cache,
         )
-        results[controller] = system.run()
     return MicroComparison(
         benchmark=benchmark,
         solar_level=solar_level,
@@ -85,12 +131,31 @@ def run_micro_sweep(
     benchmarks: tuple[str, ...] = FIGURE17_BENCHMARKS,
     solar_levels: tuple[str, ...] = ("high", "low"),
     seed: int = 1,
+    max_workers: int | None = None,
+    use_cache: bool = True,
 ) -> list[MicroComparison]:
-    """The full Figures 17-19 sweep."""
+    """The full Figures 17-19 sweep, fanned out across worker processes."""
+    pairs = [(b, lvl) for b in benchmarks for lvl in solar_levels]
+    cells = [
+        dict(
+            benchmark=benchmark,
+            solar_level=level,
+            controller=controller,
+            seed=seed,
+            use_cache=use_cache,
+        )
+        for benchmark, level in pairs
+        for controller in ("insure", "baseline")
+    ]
+    summaries = run_cells(run_micro_cell, cells, max_workers=max_workers)
     return [
-        run_micro_comparison(benchmark, level, seed=seed)
-        for benchmark in benchmarks
-        for level in solar_levels
+        MicroComparison(
+            benchmark=benchmark,
+            solar_level=level,
+            insure=summaries[2 * i],
+            baseline=summaries[2 * i + 1],
+        )
+        for i, (benchmark, level) in enumerate(pairs)
     ]
 
 

@@ -14,6 +14,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.system import build_system
+from repro.experiments.runner import run_cells
+from repro.sim.cache import (
+    cache_key,
+    default_cache,
+    summary_from_payload,
+    summary_to_payload,
+)
 from repro.solar.traces import DayTrace, make_day_trace
 from repro.telemetry.metrics import RunSummary
 from repro.workloads import VideoSurveillance
@@ -51,29 +58,71 @@ def _day_and_night_trace(seed: int, mean_w: float, dt: float = 5.0) -> DayTrace:
                     power_w=np.concatenate([day.power_w, night]))
 
 
+def run_provisioning_cell(
+    battery_count: int,
+    solar_scale: float,
+    seed: int,
+    mean_w: float = 900.0,
+    use_cache: bool = True,
+) -> RunSummary:
+    """One (buffer size, seed) day-and-night run, memoised (picklable)."""
+    cache = default_cache() if use_cache else None
+    key = None
+    if cache is not None and cache.enabled:
+        key = cache_key(
+            "provisioning.cell",
+            battery_count=battery_count,
+            solar_scale=solar_scale,
+            seed=seed,
+            mean_w=mean_w,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return summary_from_payload(cached)
+
+    trace = _day_and_night_trace(seed, mean_w * solar_scale)
+    system = build_system(
+        trace, VideoSurveillance(), controller="insure",
+        battery_count=battery_count, seed=seed, initial_soc=0.55,
+    )
+    summary = system.run()
+    if cache is not None and key is not None:
+        cache.put(key, summary_to_payload(summary))
+    return summary
+
+
 def run_provisioning_sweep(
     battery_counts: tuple[int, ...] = (2, 3, 4, 5),
     solar_scale: float = 1.0,
     seeds: tuple[int, ...] = (12, 21, 34),
     mean_w: float = 900.0,
+    max_workers: int | None = None,
+    use_cache: bool = True,
 ) -> list[ProvisioningPoint]:
     """Sweep the e-Buffer size over a full 24 h (day + night).
 
     During the day solar binds and buffer size barely matters; through
     the night every extra cabinet is extra serving time — which is where
     over-provisioning earns (or fails to earn) its cost.  Results are
-    averaged over several cloud seeds: single days are noisy.
+    averaged over several cloud seeds: single days are noisy.  The
+    count x seed grid fans out across worker processes.
     """
+    cells = [
+        dict(
+            battery_count=count,
+            solar_scale=solar_scale,
+            seed=seed,
+            mean_w=mean_w,
+            use_cache=use_cache,
+        )
+        for count in battery_counts
+        for seed in seeds
+    ]
+    all_summaries = run_cells(run_provisioning_cell, cells,
+                              max_workers=max_workers)
     points = []
-    for count in battery_counts:
-        summaries = []
-        for seed in seeds:
-            trace = _day_and_night_trace(seed, mean_w * solar_scale)
-            system = build_system(
-                trace, VideoSurveillance(), controller="insure",
-                battery_count=count, seed=seed, initial_soc=0.55,
-            )
-            summaries.append(system.run())
+    for i, count in enumerate(battery_counts):
+        summaries = all_summaries[i * len(seeds):(i + 1) * len(seeds)]
         points.append(ProvisioningPoint(
             battery_count=count,
             solar_scale=solar_scale,

@@ -11,10 +11,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.system import build_system
+from repro.experiments.runner import run_cells
+from repro.sim.cache import (
+    cache_key,
+    default_cache,
+    summary_from_payload,
+    summary_to_payload,
+)
 from repro.solar.traces import DAY_ENERGY_KWH, table6_trace
 from repro.telemetry.analyzer import table6_row
 from repro.telemetry.metrics import RunSummary
 from repro.workloads import SeismicAnalysis
+
+_SCHEMES = (("Opt", "insure"), ("Non-Opt", "baseline"))
 
 
 @dataclass
@@ -30,29 +39,74 @@ class Table6Cell:
         return table6_row(self.summary)
 
 
+def run_table6_cell(
+    day: str,
+    controller: str,
+    seed: int = 1,
+    initial_soc: float = 0.55,
+    dt: float = 5.0,
+    use_cache: bool = True,
+) -> RunSummary:
+    """One day-long Table 6 run, memoised in the run cache (picklable)."""
+    cache = default_cache() if use_cache else None
+    key = None
+    if cache is not None and cache.enabled:
+        key = cache_key(
+            "table6.cell",
+            day=day,
+            controller=controller,
+            seed=seed,
+            initial_soc=initial_soc,
+            dt=dt,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return summary_from_payload(cached)
+
+    trace = table6_trace(day, dt_seconds=dt, seed=seed)
+    system = build_system(
+        trace,
+        SeismicAnalysis(),
+        controller=controller,
+        seed=seed,
+        initial_soc=initial_soc,
+        dt=dt,
+    )
+    summary = system.run()
+    if cache is not None and key is not None:
+        cache.put(key, summary_to_payload(summary))
+    return summary
+
+
 def run_table6(
     days: tuple[str, ...] = ("sunny", "cloudy", "rainy"),
     seed: int = 1,
     initial_soc: float = 0.55,
     dt: float = 5.0,
+    max_workers: int | None = None,
+    use_cache: bool = True,
 ) -> list[Table6Cell]:
-    """All six Table 6 cells."""
-    cells: list[Table6Cell] = []
+    """All six Table 6 cells, fanned out across worker processes."""
+    labels: list[tuple[str, str]] = []
+    cells: list[dict] = []
     for day in days:
         if day not in DAY_ENERGY_KWH:
             raise ValueError(f"unknown day archetype {day!r}")
-        for scheme, controller in (("Opt", "insure"), ("Non-Opt", "baseline")):
-            trace = table6_trace(day, dt_seconds=dt, seed=seed)
-            system = build_system(
-                trace,
-                SeismicAnalysis(),
+        for scheme, controller in _SCHEMES:
+            labels.append((day, scheme))
+            cells.append(dict(
+                day=day,
                 controller=controller,
                 seed=seed,
                 initial_soc=initial_soc,
                 dt=dt,
-            )
-            cells.append(Table6Cell(day=day, scheme=scheme, summary=system.run()))
-    return cells
+                use_cache=use_cache,
+            ))
+    summaries = run_cells(run_table6_cell, cells, max_workers=max_workers)
+    return [
+        Table6Cell(day=day, scheme=scheme, summary=summary)
+        for (day, scheme), summary in zip(labels, summaries)
+    ]
 
 
 def format_table6(cells: list[Table6Cell]) -> str:

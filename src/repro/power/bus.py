@@ -23,7 +23,7 @@ from repro.power.converters import DCDCConverter
 from repro.power.relays import SwitchNetwork
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BusReport:
     """Outcome of one bus resolution tick (all in watts at the PV bus)."""
 
@@ -67,16 +67,17 @@ class PowerBus:
         self.converter = converter or DCDCConverter()
         self.switchnet = switchnet
         self.last_report = BusReport(0, 0, 0, 0, 0, 0, 0)
+        self._units_by_name = {unit.name: unit for unit in bank}
 
     def _on_load_bus(self) -> list[BatteryUnit]:
         if self.switchnet is None:
             return self.bank.in_mode(BatteryMode.DISCHARGING, BatteryMode.STANDBY)
-        return [self.bank.by_name(n) for n in self.switchnet.on_bus("load")]
+        return [self._units_by_name[n] for n in self.switchnet.on_bus("load")]
 
     def _on_charge_bus(self) -> list[BatteryUnit]:
         if self.switchnet is None:
             return self.bank.in_mode(BatteryMode.CHARGING)
-        return [self.bank.by_name(n) for n in self.switchnet.on_bus("charge")]
+        return [self._units_by_name[n] for n in self.switchnet.on_bus("charge")]
 
     def resolve(
         self,
@@ -100,10 +101,10 @@ class PowerBus:
         # --- Discharge path -------------------------------------------------
         discharging = self._on_load_bus()
         battery_to_load = 0.0
-        touched: set[str] = set()
+        touched: set[BatteryUnit] = set()
         if deficit > 0 and discharging:
             battery_to_load = self._discharge(discharging, deficit, dt_seconds)
-            touched.update(u.name for u in discharging)
+            touched.update(discharging)
         unserved = max(0.0, deficit - battery_to_load)
 
         # --- Charge path ----------------------------------------------------
@@ -112,12 +113,12 @@ class PowerBus:
         if charging:
             result = self.charger.step(charging, surplus, dt_seconds)
             charge_power = result.power_used_w
-            touched.update(u.name for u in charging)
+            touched.update(charging)
         curtailed = max(0.0, surplus - charge_power)
 
         # --- Float / idle ---------------------------------------------------
-        for unit in self.bank:
-            if unit.name in touched:
+        for unit in self.bank.units:
+            if unit in touched:
                 continue
             if float_standby and unit.mode is BatteryMode.STANDBY and curtailed > 1.0:
                 used = self.charger.float_step([unit], dt_seconds)
@@ -146,11 +147,13 @@ class PowerBus:
     ) -> float:
         """Split ``deficit_w`` across parallel units by deliverable current."""
         capabilities = []
+        total_capability = 0.0
         for unit in units:
             amps = unit.max_discharge_current(dt_seconds)
             volts = unit.terminal_voltage
-            capabilities.append((unit, amps, volts, amps * volts))
-        total_capability = sum(c[3] for c in capabilities)
+            watts = amps * volts
+            capabilities.append((unit, amps, volts, watts))
+            total_capability += watts
         if total_capability <= 0.0:
             for unit in units:
                 unit.idle(dt_seconds)

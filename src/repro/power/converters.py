@@ -83,8 +83,13 @@ class PowerDistributionUnit:
         """
         if len(server_loads_w) > self.ports:
             raise ValueError(f"{len(server_loads_w)} servers > {self.ports} ports")
-        active = [w for w in server_loads_w if w > 0]
-        total = sum(active) + self.port_overhead_w * len(active)
+        total = 0.0
+        active = 0
+        for w in server_loads_w:
+            if w > 0:
+                total += w
+                active += 1
+        total += self.port_overhead_w * active
         if total > self.capacity_w:
             raise ValueError(
                 f"PDU over capacity: {total:.0f} W > {self.capacity_w:.0f} W"

@@ -17,16 +17,30 @@ class ModbusError(RuntimeError):
     """Protocol violation: bad CRC, bad function code, or bad address."""
 
 
-def crc16(data: bytes) -> int:
-    """Modbus RTU CRC-16 (polynomial 0xA001)."""
-    crc = 0xFFFF
-    for byte in data:
-        crc ^= byte
+def _build_crc16_table() -> tuple[int, ...]:
+    table = []
+    for value in range(256):
+        crc = value
         for _ in range(8):
             if crc & 1:
                 crc = (crc >> 1) ^ 0xA001
             else:
                 crc >>= 1
+        table.append(crc)
+    return tuple(table)
+
+
+#: Precomputed byte table for the 0xA001 polynomial — identical output to
+#: the bitwise loop, one lookup per byte instead of eight shifts.
+_CRC16_TABLE = _build_crc16_table()
+
+
+def crc16(data: bytes) -> int:
+    """Modbus RTU CRC-16 (polynomial 0xA001)."""
+    crc = 0xFFFF
+    table = _CRC16_TABLE
+    for byte in data:
+        crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
     return crc
 
 
@@ -62,6 +76,11 @@ class ModbusSlave:
         self.unit_id = unit_id
         self.holding = [0] * size
         self.input = [0] * size
+        #: Validated read requests, keyed by the exact frame bytes.  Polling
+        #: masters repeat identical frames every control period; equal bytes
+        #: parse (and CRC-check) to the same result, so validate each
+        #: distinct frame once.
+        self._read_requests: dict[bytes, tuple[int, int, int]] = {}
 
     def set_input(self, address: int, value: int) -> None:
         self._check(address, self.input)
@@ -84,6 +103,16 @@ class ModbusSlave:
     # ------------------------------------------------------------------
     def handle(self, frame: bytes) -> bytes:
         """Process a request frame and return the response frame."""
+        parsed = self._read_requests.get(frame)
+        if parsed is not None:
+            unit, function, address, count = self.unit_id, *parsed
+            bank = self.holding if function == READ_HOLDING else self.input
+            values = bank[address:address + count]
+            response = struct.pack(
+                f">BBB{count}H", unit, function, 2 * count, *values
+            )
+            return response + struct.pack("<H", crc16(response))
+
         if len(frame) < 4:
             raise ModbusError("frame too short")
         body, crc_bytes = frame[:-2], frame[-2:]
@@ -98,11 +127,12 @@ class ModbusSlave:
             bank = self.holding if function == READ_HOLDING else self.input
             if address + count > len(bank) or count == 0:
                 raise ModbusError("read beyond register bank")
+            if len(self._read_requests) < 64:
+                self._read_requests[bytes(frame)] = (function, address, count)
             values = bank[address:address + count]
-            payload = struct.pack("B", 2 * count) + b"".join(
-                struct.pack(">H", v) for v in values
+            response = struct.pack(
+                f">BBB{count}H", unit, function, 2 * count, *values
             )
-            response = struct.pack("BB", unit, function) + payload
         elif function == WRITE_SINGLE:
             address, value = struct.unpack(">HH", body[2:6])
             self.set_holding(address, value)
@@ -127,36 +157,45 @@ class ModbusMaster:
 
     def __init__(self, slave: ModbusSlave) -> None:
         self.slave = slave
+        #: Read-request frames are a pure function of (function, address,
+        #: count); polling loops issue the same reads every control period,
+        #: so encode (and CRC) each distinct request once.
+        self._request_frames: dict[tuple[int, int, int], bytes] = {}
+        self._word_formats: dict[int, str] = {}
 
     def _transact(self, body: bytes) -> bytes:
         frame = body + struct.pack("<H", crc16(body))
+        return self._transact_frame(frame)
+
+    def _transact_frame(self, frame: bytes) -> bytes:
         response = self.slave.handle(frame)
         resp_body, crc_bytes = response[:-2], response[-2:]
         if struct.unpack("<H", crc_bytes)[0] != crc16(resp_body):
             raise ModbusError("bad CRC in response")
         return resp_body
 
+    def _read_frame(self, function: int, address: int, count: int) -> bytes:
+        key = (function, address, count)
+        frame = self._request_frames.get(key)
+        if frame is None:
+            body = struct.pack(">BBHH", self.slave.unit_id, function, address, count)
+            frame = body + struct.pack("<H", crc16(body))
+            self._request_frames[key] = frame
+        return frame
+
+    def _read(self, function: int, address: int, count: int) -> list[int]:
+        resp = self._transact_frame(self._read_frame(function, address, count))
+        words = resp[2] // 2
+        fmt = self._word_formats.get(words)
+        if fmt is None:
+            fmt = self._word_formats[words] = f">{words}H"
+        return list(struct.unpack_from(fmt, resp, 3))
+
     def read_holding(self, address: int, count: int = 1) -> list[int]:
-        body = struct.pack("BB", self.slave.unit_id, READ_HOLDING) + struct.pack(
-            ">HH", address, count
-        )
-        resp = self._transact(body)
-        byte_count = resp[2]
-        return [
-            struct.unpack(">H", resp[3 + 2 * i: 5 + 2 * i])[0]
-            for i in range(byte_count // 2)
-        ]
+        return self._read(READ_HOLDING, address, count)
 
     def read_input(self, address: int, count: int = 1) -> list[int]:
-        body = struct.pack("BB", self.slave.unit_id, READ_INPUT) + struct.pack(
-            ">HH", address, count
-        )
-        resp = self._transact(body)
-        byte_count = resp[2]
-        return [
-            struct.unpack(">H", resp[3 + 2 * i: 5 + 2 * i])[0]
-            for i in range(byte_count // 2)
-        ]
+        return self._read(READ_INPUT, address, count)
 
     def write_holding(self, address: int, value: int) -> None:
         body = struct.pack("BB", self.slave.unit_id, WRITE_SINGLE) + struct.pack(

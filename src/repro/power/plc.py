@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.power.modbus import ModbusSlave, encode_fixed
+from repro.power.modbus import ModbusError, ModbusSlave, encode_fixed
 from repro.power.sensors import Transducer
 from repro.sim.clock import Clock
 from repro.sim.component import Component
@@ -72,6 +72,10 @@ class ProgrammableLogicController(Component):
         self.program: ControlProgram | None = None
         self._since_scan = float("inf")  # force a scan on the first step
         self.scan_count = 0
+        #: Flattened (address, read, scale) scan plan over all modules,
+        #: rebuilt whenever the channel population changes.
+        self._scan_plan: list[tuple[int, Callable[[], float], float]] = []
+        self._scan_plan_size = -1
 
     def add_module(self, module: AnalogInputModule) -> AnalogInputModule:
         for existing in self.modules:
@@ -96,7 +100,27 @@ class ProgrammableLogicController(Component):
             return
         self._since_scan = 0.0
         self.scan_count += 1
-        for module in self.modules:
-            module.scan(self.slave)
+        size = sum(len(m._channels) for m in self.modules)
+        if size != self._scan_plan_size:
+            plan = [
+                (module.base_address + channel, transducer.read, scale)
+                for module in self.modules
+                for channel, transducer, scale in module._channels
+            ]
+            # Validate the (static) register addresses once, so the scan
+            # loop can write to the input bank directly.
+            for address, _, _ in plan:
+                self.slave._check(address, self.slave.input)
+            self._scan_plan = plan
+            self._scan_plan_size = size
+        registers = self.slave.input
+        for address, read, scale in self._scan_plan:
+            value = read()
+            raw = round(value * scale)
+            if not -32768 <= raw <= 32767:
+                raise ModbusError(
+                    f"value {value} does not fit a 16-bit register at scale {scale}"
+                )
+            registers[address] = raw & 0xFFFF
         if self.program is not None:
             self.program(clock, self)

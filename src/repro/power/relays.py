@@ -152,12 +152,16 @@ class SwitchNetwork:
 
     def on_bus(self, bus: str) -> list[str]:
         """Names of cabinets currently attached to ``bus``."""
-        mapping = {"charge": "charging", "load": "load", "offline": "offline"}
-        try:
-            state = mapping[bus]
-        except KeyError:
-            raise ValueError(f"unknown bus {bus!r}") from None
-        return [name for name, pair in self.pairs.items() if pair.state == state]
+        # Inlined RelayPair.state tests (charge contact wins): this runs
+        # twice per bus-resolution tick.
+        pairs = self.pairs.items()
+        if bus == "charge":
+            return [n for n, p in pairs if p.charge.closed]
+        if bus == "load":
+            return [n for n, p in pairs if p.discharge.closed and not p.charge.closed]
+        if bus == "offline":
+            return [n for n, p in pairs if not p.charge.closed and not p.discharge.closed]
+        raise ValueError(f"unknown bus {bus!r}")
 
     def _pair(self, battery_name: str) -> RelayPair:
         try:

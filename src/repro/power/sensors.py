@@ -58,16 +58,34 @@ class Transducer:
         self.noise_std = noise_std
         self.levels = 2**resolution_bits - 1
         self.rng = rng
+        # Noise draws come from a pre-drawn block of standard normals,
+        # scaled by noise_std at read time.  ``normal(0, s)`` is bitwise
+        # ``s * standard_normal()`` and batch draws consume the generator
+        # identically to scalar ones, so the sample stream is unchanged.
+        self._noise_buf: list[float] = []
+        self._noise_pos = 0
 
     def read(self) -> float:
         """One sample through the full measurement chain."""
         value = self.source() * self.gain
         if self.rng is not None and self.noise_std > 0.0:
-            value += self.rng.normal(0.0, self.noise_std)
-        value = min(max(value, self.lo), self.hi)
-        span = self.hi - self.lo
-        code = round((value - self.lo) / span * self.levels)
-        return self.lo + code * span / self.levels
+            pos = self._noise_pos
+            buf = self._noise_buf
+            if pos >= len(buf):
+                buf = self._noise_buf = self.rng.standard_normal(256).tolist()
+                pos = 0
+            self._noise_pos = pos + 1
+            value += self.noise_std * buf[pos]
+        lo = self.lo
+        hi = self.hi
+        if value < lo:
+            value = lo
+        elif value > hi:
+            value = hi
+        span = hi - lo
+        levels = self.levels
+        code = round((value - lo) / span * levels)
+        return lo + code * span / levels
 
 
 class VoltageTransducer(Transducer):

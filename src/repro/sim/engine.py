@@ -4,6 +4,12 @@ The engine owns the clock and a registry of components.  Each tick it steps
 every component in registration order, then fires any per-tick observers
 (used by the trace recorder).  Runs are bounded by a duration and may end
 early via a stop condition (e.g. "battery bank exhausted and no solar").
+
+The tick loop is a *chunked kernel*: component ``step`` methods, observers
+and stop conditions are pre-bound into flat lists once per run, the clock is
+advanced inline, and the loop is specialised for the common case of no stop
+conditions.  A day-long full-system run executes ~17k ticks, so shaving the
+per-tick dispatch overhead is a first-order win for every experiment.
 """
 
 from __future__ import annotations
@@ -27,15 +33,30 @@ class Engine:
         Step size in seconds.
     start_hour:
         Wall-clock hour of day at ``t == 0``.
+    stop_check_stride:
+        Evaluate stop conditions once every this many ticks.  The default
+        of 1 preserves exact early-stop semantics; raise it for runs where
+        a few ticks of overshoot are acceptable in exchange for speed.
     """
 
-    def __init__(self, dt: float = 1.0, start_hour: float = 7.0) -> None:
+    def __init__(
+        self,
+        dt: float = 1.0,
+        start_hour: float = 7.0,
+        stop_check_stride: int = 1,
+    ) -> None:
+        if stop_check_stride < 1:
+            raise ValueError(
+                f"stop_check_stride must be >= 1, got {stop_check_stride}"
+            )
         self.clock = Clock(dt=dt, start_hour=start_hour)
+        self.stop_check_stride = int(stop_check_stride)
         self._components: list[Component] = []
         self._by_name: dict[str, Component] = {}
         self._observers: list[Callable[[Clock], None]] = []
         self._stop_conditions: list[Callable[[Clock], bool]] = []
         self._started = False
+        self._finished = False
 
     # ------------------------------------------------------------------
     # Registration
@@ -73,6 +94,11 @@ class Engine:
     def components(self) -> tuple[Component, ...]:
         return tuple(self._components)
 
+    @property
+    def finished(self) -> bool:
+        """Whether component ``finish`` hooks have fired."""
+        return self._finished
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -80,27 +106,71 @@ class Engine:
         """Run for ``duration`` simulated seconds (or until a stop condition).
 
         Returns the clock so callers can inspect how far the run got.
+
+        ``run`` may be called again to extend a run (e.g. multi-day
+        operation); ``start`` and ``finish`` hooks each fire exactly once,
+        the first time the engine starts and finishes respectively.
         """
         if duration <= 0:
             raise ValueError(f"duration must be positive, got {duration}")
         if not self._components:
             raise SimulationError("no components registered")
 
+        clock = self.clock
         if not self._started:
             self._started = True
             for component in self._components:
-                component.start(self.clock)
+                component.start(clock)
 
-        steps = max(1, round(duration / self.clock.dt))
-        for _ in range(steps):
+        steps = max(1, round(duration / clock.dt))
+        self._run_kernel(steps)
+
+        if not self._finished:
+            self._finished = True
             for component in self._components:
-                component.step(self.clock)
-            for observer in self._observers:
-                observer(self.clock)
-            self.clock.advance()
-            if any(cond(self.clock) for cond in self._stop_conditions):
-                break
+                component.finish(clock)
+        return clock
 
-        for component in self._components:
-            component.finish(self.clock)
-        return self.clock
+    def _run_kernel(self, steps: int) -> None:
+        """The chunked tick loop: pre-bound dispatch, inline clock advance."""
+        clock = self.clock
+        dt = clock.dt
+        step_fns = [component.step for component in self._components]
+        observers = list(self._observers)
+        conditions = list(self._stop_conditions)
+        stride = self.stop_check_stride
+        index = clock.step_index
+
+        if not conditions:
+            # Fast path: fixed tick count, nothing can end the run early.
+            for _ in range(steps):
+                for step_fn in step_fns:
+                    step_fn(clock)
+                for observer in observers:
+                    observer(clock)
+                index += 1
+                clock.step_index = index
+                clock.t = index * dt
+            return
+
+        # Run stride-sized chunks of ticks, then evaluate stop conditions
+        # once per chunk (after every tick with the default stride of 1).
+        remaining = steps
+        while remaining > 0:
+            ticks = min(stride, remaining)
+            for _ in range(ticks):
+                for step_fn in step_fns:
+                    step_fn(clock)
+                for observer in observers:
+                    observer(clock)
+                index += 1
+                clock.step_index = index
+                clock.t = index * dt
+            remaining -= ticks
+            stop = False
+            for condition in conditions:
+                if condition(clock):
+                    stop = True
+                    break
+            if stop:
+                break

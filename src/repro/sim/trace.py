@@ -5,10 +5,18 @@ configurable decimation) and exposes them as numpy arrays for analysis.  It
 is the software analogue of the prototype's transducer logging: Figures 5,
 14 and 16 of the paper are rendered from exactly this kind of multi-channel
 voltage/power trace.
+
+Samples land in compact ``array('d')`` buffers (C-contiguous doubles with
+amortised O(1) append) rather than Python lists of boxed floats, and the
+numpy views handed to analysis code are cached per channel and invalidated
+only when new samples arrive — :mod:`repro.telemetry.analyzer` indexes the
+same channels repeatedly, so re-materialising a fresh array per access was
+pure waste.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Callable, Mapping
 
 import numpy as np
@@ -32,7 +40,13 @@ class TraceRecorder:
             raise ValueError(f"every must be >= 1, got {every}")
         self.every = int(every)
         self._samplers: dict[str, Sampler] = {}
-        self._data: dict[str, list[float]] = {"t": []}
+        self._data: dict[str, array] = {"t": array("d")}
+        #: (buffer.append, sampler) pairs, pre-bound for the record loop.
+        self._record_plan: list[tuple[Callable[[float], None], Sampler]] = []
+        self._t_append = self._data["t"].append
+        #: Cached numpy conversions, invalidated when the length changes.
+        self._np_cache: dict[str, np.ndarray] = {}
+        self._np_cache_len = -1
 
     def channel(self, name: str, sampler: Sampler) -> None:
         """Register a channel; ``sampler`` is called at record time."""
@@ -40,8 +54,10 @@ class TraceRecorder:
             raise ValueError("channel name 't' is reserved for time")
         if name in self._samplers:
             raise ValueError(f"duplicate channel: {name!r}")
+        buffer = array("d")
         self._samplers[name] = sampler
-        self._data[name] = []
+        self._data[name] = buffer
+        self._record_plan.append((buffer.append, sampler))
 
     def channels(self, samplers: Mapping[str, Sampler]) -> None:
         for name, sampler in samplers.items():
@@ -51,18 +67,28 @@ class TraceRecorder:
         """Observer hook for :meth:`repro.sim.engine.Engine.observe`."""
         if clock.step_index % self.every:
             return
-        self._data["t"].append(clock.t)
-        for name, sampler in self._samplers.items():
-            self._data[name].append(float(sampler()))
+        self._t_append(clock.t)
+        for append, sampler in self._record_plan:
+            append(float(sampler()))
 
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
+    def _as_array(self, name: str) -> np.ndarray:
+        length = len(self._data["t"])
+        if length != self._np_cache_len:
+            self._np_cache.clear()
+            self._np_cache_len = length
+        cached = self._np_cache.get(name)
+        if cached is None:
+            cached = np.frombuffer(self._data[name], dtype=float).copy()
+            self._np_cache[name] = cached
+        return cached
+
     def __getitem__(self, name: str) -> np.ndarray:
-        try:
-            return np.asarray(self._data[name], dtype=float)
-        except KeyError:
-            raise KeyError(f"no trace channel named {name!r}") from None
+        if name not in self._data:
+            raise KeyError(f"no trace channel named {name!r}")
+        return self._as_array(name)
 
     def __contains__(self, name: str) -> bool:
         return name in self._data
@@ -76,4 +102,4 @@ class TraceRecorder:
 
     def as_dict(self) -> dict[str, np.ndarray]:
         """All channels (including time) as numpy arrays."""
-        return {name: np.asarray(vals, dtype=float) for name, vals in self._data.items()}
+        return {name: self._as_array(name) for name in self._data}

@@ -73,6 +73,13 @@ class CloudField:
         self.reversion_per_hour = reversion_per_hour
         self.regime = self._draw_regime()
         self.clearness = _REGIME_STATS[self.regime][0]
+        # Per-step transcendentals depend only on (dt, regime); with the
+        # fixed engine step they are the same few values every tick, so
+        # cache them (bit-identical — the cached numbers are the same
+        # np.exp / np.sqrt results the uncached path would produce).
+        self._cached_dt_h = -1.0
+        self._sqrt_dt_h = 0.0
+        self._switch_p: dict[CloudRegime, float] = {}
 
     def _draw_regime(self) -> CloudRegime:
         regimes = list(self.regime_weights)
@@ -84,16 +91,30 @@ class CloudField:
         if dt_seconds <= 0:
             raise ValueError("dt_seconds must be positive")
         dt_h = dt_seconds / 3600.0
+        if dt_h != self._cached_dt_h:
+            self._cached_dt_h = dt_h
+            self._sqrt_dt_h = float(np.sqrt(dt_h))
+            self._switch_p.clear()
 
         # Regime switching as a Poisson clock.
-        dwell = _REGIME_DWELL_HOURS[self.regime]
-        if self.rng.random() < 1.0 - np.exp(-dt_h / dwell):
+        regime = self.regime
+        switch_p = self._switch_p.get(regime)
+        if switch_p is None:
+            dwell = _REGIME_DWELL_HOURS[regime]
+            switch_p = float(1.0 - np.exp(-dt_h / dwell))
+            self._switch_p[regime] = switch_p
+        if self.rng.random() < switch_p:
             self.regime = self._draw_regime()
 
         mean, vol = _REGIME_STATS[self.regime]
         drift = self.reversion_per_hour * (mean - self.clearness) * dt_h
-        shock = vol * np.sqrt(dt_h) * self.rng.standard_normal()
-        self.clearness = float(np.clip(self.clearness + drift + shock, 0.02, 1.0))
+        shock = vol * self._sqrt_dt_h * self.rng.standard_normal()
+        value = self.clearness + drift + shock
+        if value < 0.02:
+            value = 0.02
+        elif value > 1.0:
+            value = 1.0
+        self.clearness = float(value)
         return self.clearness
 
     @classmethod

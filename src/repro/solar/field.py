@@ -58,9 +58,16 @@ class TracePlayer(Component):
         super().__init__(name)
         self.trace = trace
         self.available_power_w = 0.0
+        # Plain-list copy for the per-tick lookup: scalar indexing into a
+        # numpy array boxes a np.float64 on every access, which is pure
+        # overhead at 17k+ ticks per run.  Values are bit-identical.
+        self._power: list[float] = trace.power_w.tolist()
+        self._dt = float(trace.dt_seconds)
+        self._count = len(self._power)
 
     def step(self, clock: Clock) -> None:
-        self.available_power_w = self.trace.at(clock.t)
+        index = int(clock.t // self._dt)
+        self.available_power_w = self._power[index] if index < self._count else 0.0
 
     @property
     def total_energy_kwh(self) -> float:

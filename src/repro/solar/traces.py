@@ -95,11 +95,23 @@ def _raw_day(
     clouds = factory(rng)
     hours = np.arange(TRACE_START_HOUR, TRACE_END_HOUR, dt_seconds / 3600.0)
     power = np.empty(len(hours))
-    for i, hour in enumerate(hours):
-        ghi = clearsky_ghi(float(hour))
-        clearness = clouds.step(dt_seconds)
-        power[i] = rated_w * (ghi / 1000.0) * clearness
+    ghi_at = clearsky_ghi
+    step = clouds.step
+    out = power.tolist()
+    for i, hour in enumerate(hours.tolist()):
+        ghi = ghi_at(hour)
+        clearness = step(dt_seconds)
+        out[i] = rated_w * (ghi / 1000.0) * clearness
+    power[:] = out
     return power
+
+
+#: Synthesis is deterministic in its arguments, and experiment matrices
+#: request the same few traces repeatedly (e.g. both controllers replay the
+#: identical solar day).  Memoise the finished power arrays; entries hand
+#: out defensive copies so callers can never alias each other.
+_TRACE_MEMO: dict[tuple, np.ndarray] = {}
+_TRACE_MEMO_MAX = 32
 
 
 def make_day_trace(
@@ -119,6 +131,11 @@ def make_day_trace(
     """
     if target_energy_kwh is not None and target_mean_w is not None:
         raise ValueError("give at most one of target_energy_kwh / target_mean_w")
+    memo_key = (profile, rated_w, dt_seconds, seed, target_energy_kwh, target_mean_w)
+    cached = _TRACE_MEMO.get(memo_key)
+    if cached is not None:
+        return DayTrace(start_hour=TRACE_START_HOUR, dt_seconds=dt_seconds,
+                        power_w=cached.copy())
     power = _raw_day(profile, rated_w, dt_seconds, seed)
     if target_energy_kwh is not None:
         current = power.sum() * dt_seconds / 3.6e6
@@ -130,6 +147,9 @@ def make_day_trace(
         if current <= 0:
             raise ValueError("raw trace has no energy to rescale")
         power = power * (target_mean_w / current)
+    if len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
+        _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+    _TRACE_MEMO[memo_key] = power.copy()
     return DayTrace(start_hour=TRACE_START_HOUR, dt_seconds=dt_seconds, power_w=power)
 
 

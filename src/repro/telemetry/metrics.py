@@ -10,13 +10,16 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.battery.bank import BatteryBank
 from repro.cluster.rack import ServerRack
-from repro.core.controller_base import PowerManager
 from repro.sim.clock import Clock
 from repro.sim.component import Component
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # circular at runtime: repro.core imports this module
+    from repro.core.controller_base import PowerManager
 
 
 @dataclass(frozen=True)
@@ -107,14 +110,23 @@ class MetricsCollector(Component):
         # Energy availability counts *reachable* energy: cabinets on the
         # load bus.  A unified bank parked on the charge bus can absorb no
         # emergency, whatever it stores (paper §6.3).
-        online_wh = sum(u.stored_energy_wh for u in self.bank if u.is_online())
+        online_wh = 0
+        for u in self.bank.units:
+            if u.is_online():
+                online_wh += u.stored_energy_wh
         self._stored_wh_integral += online_wh * dt
 
-        demand = self.rack.demand_w
+        # The coupler sampled rack demand earlier this tick; nothing between
+        # it and this collector changes server power state unless a shed
+        # happened (in which case it invalidates the sample and we re-read).
+        demand = getattr(self.plant, "last_server_demand_w", None)
+        if demand is None:
+            demand = self.rack.demand_w
         self._load_energy_wh += demand * dt_h
-        effective = sum(
-            server.power_w for server in self.rack.servers if server.running_vms()
-        )
+        effective = 0
+        for server in self.rack.servers:
+            if server.running_vm_count():
+                effective += server.power_w
         self._effective_energy_wh += effective * dt_h
 
         report = self.plant.last_report
@@ -123,7 +135,12 @@ class MetricsCollector(Component):
             self._solar_used_wh += (report.solar_to_load_w + report.charge_power_w) * dt_h
             self._curtailed_wh += report.curtailed_w * dt_h
 
-        self._min_voltage = min(self._min_voltage, self.bank.min_voltage)
+        min_v = self._min_voltage
+        for u in self.bank.units:
+            tv = u.terminal_voltage
+            if tv < min_v:
+                min_v = tv
+        self._min_voltage = min_v
         self._since_voltage_sample += dt
         if self._since_voltage_sample >= self._voltage_sample_every:
             self._since_voltage_sample = 0.0

@@ -1,6 +1,5 @@
 """Targeted controller scenarios: each InSURE mechanism in isolation."""
 
-import pytest
 
 from repro.battery.unit import BatteryMode
 from repro.core.energy_manager import InsureParams

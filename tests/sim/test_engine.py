@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim.clock import Clock
 from repro.sim.component import Component
 from repro.sim.engine import Engine, SimulationError
 
@@ -131,3 +130,64 @@ class TestObserversAndStops:
         engine.observe(lambda clock: order.append("observer"))
         engine.run(1.0)
         assert order == ["component", "observer"]
+
+
+class TestMultiRun:
+    def test_finish_called_once_across_runs(self):
+        """Extending a run (multi-day operation) must not re-finalise."""
+        finishes = []
+
+        class Once(Component):
+            def step(self, clock):
+                pass
+
+            def finish(self, clock):
+                finishes.append(clock.t)
+
+        engine = Engine(dt=1.0)
+        engine.add(Once("o"))
+        engine.run(2.0)
+        assert engine.finished
+        engine.run(2.0)
+        engine.run(2.0)
+        assert len(finishes) == 1
+        assert engine.clock.t == pytest.approx(6.0)
+
+    def test_second_run_continues_the_clock(self):
+        log = []
+        engine = Engine(dt=1.0)
+        engine.add(Recorder("a", log))
+        engine.run(2.0)
+        engine.run(2.0)
+        assert [t for _, t in log] == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestStopCheckStride:
+    def test_invalid_stride_rejected(self):
+        with pytest.raises(ValueError):
+            Engine(stop_check_stride=0)
+
+    def test_default_stride_preserves_exact_early_stop(self):
+        log = []
+        engine = Engine(dt=1.0)
+        engine.add(Recorder("a", log))
+        engine.stop_when(lambda clock: clock.t >= 3.0)
+        engine.run(100.0)
+        assert len(log) == 3
+
+    def test_wide_stride_checks_once_per_chunk(self):
+        """A stride of 4 runs whole chunks between stop evaluations."""
+        log = []
+        engine = Engine(dt=1.0, stop_check_stride=4)
+        engine.add(Recorder("a", log))
+        engine.stop_when(lambda clock: clock.t >= 1.0)
+        engine.run(100.0)
+        assert len(log) == 4
+
+    def test_stride_does_not_overshoot_duration(self):
+        log = []
+        engine = Engine(dt=1.0, stop_check_stride=64)
+        engine.add(Recorder("a", log))
+        engine.stop_when(lambda clock: False)
+        engine.run(10.0)
+        assert len(log) == 10

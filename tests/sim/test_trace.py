@@ -73,3 +73,35 @@ class TestDecimation:
         data = rec.as_dict()
         assert set(data) == {"t", "x"}
         assert data["x"].shape == (4,)
+
+
+class TestConversionCache:
+    def test_repeated_access_returns_same_array(self):
+        rec = TraceRecorder()
+        rec.channel("x", lambda: 1.5)
+        advance_and_record(rec, 5)
+        first = rec["x"]
+        assert rec["x"] is first
+        assert rec.as_dict()["x"] is first
+
+    def test_new_samples_invalidate_the_cache(self):
+        value = {"x": 1.0}
+        rec = TraceRecorder()
+        rec.channel("x", lambda: value["x"])
+        advance_and_record(rec, 3)
+        stale = rec["x"]
+        value["x"] = 9.0
+        advance_and_record(rec, 2)
+        fresh = rec["x"]
+        assert fresh is not stale
+        assert len(stale) == 3  # the old view is a stable snapshot
+        assert list(fresh) == [1.0, 1.0, 1.0, 9.0, 9.0]
+
+    def test_cached_array_is_a_copy_not_a_view(self):
+        rec = TraceRecorder()
+        rec.channel("x", lambda: 2.0)
+        advance_and_record(rec, 2)
+        arr = rec["x"]
+        arr[0] = -1.0
+        advance_and_record(rec, 1)  # invalidate; re-materialise from buffer
+        assert list(rec["x"]) == [2.0, 2.0, 2.0]
