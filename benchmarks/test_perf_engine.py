@@ -8,14 +8,18 @@ replay is effectively free.  Results land in ``BENCH_engine.json`` at the
 repository root so successive runs can be compared.
 """
 
+import hashlib
 import json
 import time
 from pathlib import Path
 
 from conftest import banner, row
 
+from repro.core.system import build_system
 from repro.experiments.fullsystem import run_single
 from repro.sim.cache import RunCache, cache_key
+from repro.solar.traces import make_day_trace
+from repro.workloads import SeismicAnalysis
 
 #: One simulated day at dt=5 s.
 DAY_SECONDS = 24 * 3600.0
@@ -56,6 +60,55 @@ def test_engine_perf_smoke(tmp_path, monkeypatch):
     # Generous floor: the optimised kernel sustains ~20k ticks/s on one
     # modest core; trip only on order-of-magnitude regressions.
     assert ticks_per_s > 4000, f"engine too slow: {ticks_per_s:,.0f} ticks/s"
+
+
+def _build_bench_cell(invariants):
+    """The BENCH cell (insure/seismic/sunny/1000 W, seed 1), built fresh."""
+    trace = make_day_trace("sunny", dt_seconds=DT, seed=1,
+                           target_mean_w=1000.0)
+    return build_system(trace, SeismicAnalysis(), controller="insure",
+                        seed=1, initial_soc=0.55, dt=DT,
+                        invariants=invariants)
+
+
+def _timed_run(invariants):
+    system = _build_bench_cell(invariants)
+    t0 = time.perf_counter()
+    system.run()
+    return system, time.perf_counter() - t0
+
+
+def test_invariant_checker_overhead():
+    """The validate-layer checker must stay cheap when on and free when off.
+
+    On: < 15 % wall-time overhead on the BENCH cell at the default check
+    stride.  Off: exactly zero — not merely fast, but the same-seed run
+    produces bit-identical traces whether or not the (read-only) checker
+    is observing, so enabling it in CI cannot shift any golden digest.
+    """
+    def trace_hash(system):
+        digest = hashlib.sha256()
+        for name in ("t",) + system.recorder.names:
+            digest.update(system.recorder[name].tobytes())
+        return digest.hexdigest()
+
+    # Best-of-2 timings: the absolute numbers wobble on a shared core,
+    # the ratio of minima is stable enough for a 15 % gate.
+    plain, plain_s = _timed_run(invariants=False)
+    checked, checked_s = _timed_run(invariants=True)
+    plain_s = min(plain_s, _timed_run(invariants=False)[1])
+    checked_s = min(checked_s, _timed_run(invariants=True)[1])
+    overhead = checked_s / plain_s - 1.0
+
+    banner("Invariant checker overhead (BENCH cell, stride 12)")
+    row("disabled", f"{plain_s:.2f} s")
+    row("enabled", f"{checked_s:.2f} s",
+        f"{overhead * 100:+.1f} %  ({checked.checker.checks_run} checks)")
+
+    assert plain.checker is None
+    checked.checker.assert_clean()
+    assert trace_hash(plain) == trace_hash(checked)
+    assert overhead < 0.15, f"checker overhead {overhead * 100:.1f}% >= 15%"
 
 
 def test_cache_key_distinguishes_configurations(tmp_path, monkeypatch):

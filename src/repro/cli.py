@@ -9,6 +9,8 @@ Run reproduction experiments without writing code::
     python -m repro figure 20 --jobs 4
     python -m repro cache info
     python -m repro plan --gb-per-day 120 --sunshine 0.7 --days 180
+    python -m repro validate --jobs 4
+    python -m repro validate --refresh
 """
 
 from __future__ import annotations
@@ -164,6 +166,63 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_cells(specs):
+    from repro.validate import golden
+
+    if not specs:
+        return None
+    cells = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise SystemExit(
+                f"bad cell {spec!r} (expected controller:workload:weather)"
+            )
+        controller, workload, weather = parts
+        if (controller not in golden.CONTROLLERS
+                or workload not in golden.WORKLOADS
+                or weather not in golden.WEATHERS):
+            raise SystemExit(f"unknown cell {spec!r}")
+        cells.append({"controller": controller, "workload": workload,
+                      "weather": weather})
+    return cells
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validate import golden
+
+    golden_dir = args.golden_dir or golden.DEFAULT_GOLDEN_DIR
+    cells = _parse_cells(args.cell)
+    count = len(cells) if cells else len(golden.matrix_cells())
+    if args.refresh:
+        print(f"refreshing {count} golden cell(s) …")
+        paths = golden.refresh_matrix(golden_dir, cells=cells,
+                                      max_workers=args.jobs)
+        for path in paths:
+            print(f"  wrote {path}")
+        return 0
+
+    print(f"validating {count} golden cell(s) …")
+    report = golden.check_matrix(golden_dir, cells=cells,
+                                 max_workers=args.jobs)
+    failed = 0
+    for name, diffs in report.items():
+        if diffs:
+            failed += 1
+            print(f"  FAIL {name}")
+            for line in diffs:
+                print(f"       {line}")
+        else:
+            print(f"  ok   {name}")
+    if failed:
+        print(f"\n{failed}/{len(report)} cell(s) diverged; if the change is "
+              f"intentional, refresh with `repro validate --refresh` and "
+              f"review the digest diff (see docs/validation.md)")
+        return 1
+    print("\nall cells match; physics invariants clean")
+    return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.cost.scaleout import cloud_cost, insitu_cost, pods_required
 
@@ -226,6 +285,22 @@ def build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser("cache", help="inspect or clear the run cache")
     cache.add_argument("action", choices=("info", "clear"))
     cache.set_defaults(func=_cmd_cache)
+
+    validate = sub.add_parser(
+        "validate",
+        help="run the physics-invariant checker and golden-trace digests",
+    )
+    validate.add_argument("--refresh", action="store_true",
+                          help="rewrite the stored golden digests")
+    validate.add_argument("--cell", action="append", metavar="CTRL:WL:WEATHER",
+                          help="restrict to one matrix cell (repeatable), "
+                               "e.g. insure:video:sunny")
+    validate.add_argument("--jobs", type=int, default=None,
+                          help="worker processes for the cell matrix")
+    validate.add_argument("--golden-dir", default=None,
+                          help="golden record directory "
+                               "(default: tests/golden in the checkout)")
+    validate.set_defaults(func=_cmd_validate)
 
     plan = sub.add_parser("plan", help="in-situ vs cloud deployment economics")
     plan.add_argument("--gb-per-day", type=float, required=True)

@@ -58,6 +58,9 @@ class BatteryTelemetry:
         self.bank = bank
         self.plc = plc or ProgrammableLogicController(scan_period_s=0.5)
         streams = streams or RandomStreams(0)
+        #: Every transducer in register order, for fault injection
+        #: (:meth:`set_gain_error`) without rebuilding the chain.
+        self._sensors: list[VoltageTransducer | CurrentTransducer] = []
 
         for index, unit in enumerate(bank):
             module = AnalogInputModule(
@@ -71,6 +74,7 @@ class BatteryTelemetry:
             i_sensor.gain = 1.0 + gain_error
             module.bind(0, v_sensor, _V_SCALE)
             module.bind(1, i_sensor, _I_SCALE)
+            self._sensors.extend((v_sensor, i_sensor))
             self.plc.add_module(module)
 
         self.master = ModbusMaster(self.plc.slave)
@@ -83,6 +87,16 @@ class BatteryTelemetry:
         }
         #: (unit, sense) pairs in register order, for the refresh hot loop.
         self._rows = [(unit, self.senses[unit.name]) for unit in bank]
+
+    def set_gain_error(self, gain_error: float) -> None:
+        """Recalibrate every transducer to read off by ``gain_error``.
+
+        The supported fault-injection path
+        (:class:`repro.core.faults.SensorGainFault`): noise streams,
+        register bindings and estimator state all stay in place.
+        """
+        for sensor in self._sensors:
+            sensor.gain = 1.0 + gain_error
 
     @staticmethod
     def _v_source(unit: BatteryUnit):

@@ -17,7 +17,7 @@ the surviving compute-seconds to the workload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import Literal, Sequence
 
 from repro.battery.bank import BatteryBank
 from repro.battery.charger import SolarCharger
@@ -40,6 +40,7 @@ from repro.sim.trace import TraceRecorder
 from repro.solar.field import TracePlayer
 from repro.solar.traces import DayTrace
 from repro.telemetry.metrics import MetricsCollector, RunSummary
+from repro.validate.invariants import InvariantChecker
 from repro.workloads.base import Workload
 
 #: Shortfall below which the rack rides through (PSU hold-up, DC bus
@@ -112,6 +113,8 @@ class InSituSystem:
     metrics: MetricsCollector
     recorder: TraceRecorder
     events: EventLog
+    #: Physics-invariant observer; None unless built with ``invariants=True``.
+    checker: InvariantChecker | None = None
 
     def run(self, duration_s: float | None = None) -> RunSummary:
         """Run for ``duration_s`` (default: the trace length) and summarise."""
@@ -142,6 +145,9 @@ def build_system(
     source: Component | None = None,
     storage_gb: float | None = None,
     plc_interlocks: bool = False,
+    invariants: bool = False,
+    invariant_stride: int = 12,
+    faults: Sequence | None = None,
 ) -> InSituSystem:
     """Assemble a complete in-situ installation around a solar day trace.
 
@@ -172,6 +178,16 @@ def build_system(
         Route battery mode changes through the PLC-resident switch
         program (break-before-make, low-voltage lockout) instead of
         actuating relays directly — the prototype's Fig. 12 hierarchy.
+    invariants:
+        Attach an :class:`~repro.validate.invariants.InvariantChecker`
+        observer asserting energy conservation, battery bounds, charge
+        acceptance, wear monotonicity and relay exclusivity every
+        ``invariant_stride`` ticks.  Off by default (zero overhead); the
+        checker only reads plant state, so enabling it never changes a
+        run's trajectory.
+    faults:
+        Fault injections (see :mod:`repro.core.faults`) applied to the
+        fully wired system before it is returned.
     """
     if source is None:
         if trace is None:
@@ -259,9 +275,18 @@ def build_system(
     engine.add(metrics)
     engine.observe(recorder)
 
-    return InSituSystem(
+    checker = None
+    if invariants:
+        checker = InvariantChecker(bank=bank, switchnet=switchnet,
+                                   plant=plant, stride=invariant_stride)
+        engine.observe(checker)
+
+    system = InSituSystem(
         engine=engine, source=source, bank=bank, switchnet=switchnet,
         telemetry=telemetry, rack=rack, allocator=allocator, workload=workload,
         controller=manager, plant=plant, metrics=metrics, recorder=recorder,
-        events=events,
+        events=events, checker=checker,
     )
+    for fault in faults or ():
+        fault.apply(system)
+    return system

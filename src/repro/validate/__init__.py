@@ -1,0 +1,23 @@
+"""Correctness tooling: physics invariants and golden-trace regression.
+
+Two layers of defence against silent drift:
+
+* :mod:`repro.validate.invariants` — an engine observer asserting physical
+  coherence (energy conservation, KiBaM bounds, charge acceptance, wear
+  monotonicity, relay exclusivity) every check window of a running system.
+* :mod:`repro.validate.golden` — content-hashed digests of same-seed
+  simulation traces and summaries for the controller × workload × weather
+  experiment matrix, compared by ``pytest -m golden`` and the
+  ``repro validate`` CLI subcommand.
+
+Only the invariant layer is imported here; :mod:`repro.validate.golden`
+pulls in the full-system assembly, so import it explicitly where needed.
+"""
+
+from repro.validate.invariants import (
+    InvariantChecker,
+    InvariantError,
+    InvariantViolation,
+)
+
+__all__ = ["InvariantChecker", "InvariantError", "InvariantViolation"]

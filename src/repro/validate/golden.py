@@ -1,0 +1,269 @@
+"""Golden-trace regression harness.
+
+Every cell of the controller × workload × weather experiment matrix is a
+deterministic function of its configuration, so its simulation traces and
+run summary can be *content-hashed* and pinned.  A golden record stores,
+per cell:
+
+* the exact configuration that produced it,
+* a SHA-256 digest of every trace channel's raw float64 samples (any
+  bit-level drift in the same-seed trajectory changes the digest),
+* the :class:`~repro.telemetry.metrics.RunSummary` scalars rounded to a
+  coarse tolerance (6 significant digits — figure-level resolution, so a
+  digest diff always comes with human-readable "what moved" context),
+* the invariant-checker verdict for the run.
+
+Records live under ``tests/golden/`` (one JSON file per cell, sorted keys,
+indented — reviewable in a diff).  ``pytest -m golden`` and the
+``repro validate`` CLI subcommand recompute the matrix and compare;
+``repro validate --refresh`` re-seeds the records after an *intentional*
+behaviour change.
+
+Cells are computed by a module-level picklable function so the matrix can
+fan out through :func:`repro.experiments.runner.run_cells`; digests are
+identical across worker counts by construction (each cell is seeded
+independently via :func:`repro.experiments.runner.derive_seed`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.core.system import build_system
+from repro.experiments.runner import derive_seed, run_cells
+from repro.solar.traces import make_day_trace
+from repro.telemetry.metrics import RunSummary
+from repro.workloads import SeismicAnalysis, VideoSurveillance
+
+#: The pinned experiment matrix.
+CONTROLLERS = ("insure", "baseline")
+WORKLOADS = ("video", "seismic")
+WEATHERS = ("sunny", "cloudy", "rainy")
+
+#: Fixed run configuration for every golden cell.
+BASE_SEED = 1
+TARGET_MEAN_W = 800.0
+INITIAL_SOC = 0.55
+DT_SECONDS = 5.0
+#: One full simulated day: 17 280 ticks at dt=5 (the solar trace covers
+#: the daylight window; the tail exercises night-time battery operation).
+DURATION_S = 24 * 3600.0
+#: Invariant-check stride used for golden runs.
+CHECK_STRIDE = 12
+#: Significant digits kept of each RunSummary scalar.  Far coarser than
+#: float64 so incidental last-ulp wobble in derived statistics can never
+#: flake the suite, yet well inside figure-level resolution.
+SUMMARY_SIG_DIGITS = 6
+
+#: Default location of the stored records (repository checkout layout).
+DEFAULT_GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def cell_name(controller: str, workload: str, weather: str) -> str:
+    return f"{controller}-{workload}-{weather}"
+
+
+def matrix_cells() -> list[dict[str, str]]:
+    """Keyword-argument cells for :func:`compute_cell`, in matrix order."""
+    return [
+        {"controller": controller, "workload": workload, "weather": weather}
+        for controller in CONTROLLERS
+        for workload in WORKLOADS
+        for weather in WEATHERS
+    ]
+
+
+def _make_workload(kind: str):
+    if kind == "video":
+        return VideoSurveillance()
+    if kind == "seismic":
+        return SeismicAnalysis()
+    raise ValueError(f"unknown workload kind {kind!r}")
+
+
+def summary_fingerprint(summary: RunSummary) -> dict[str, Any]:
+    """RunSummary scalars at coarse tolerance (stable across platforms)."""
+    out: dict[str, Any] = {}
+    for field, value in sorted(vars(summary).items()):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            out[field] = value
+        elif isinstance(value, int):
+            out[field] = value
+        else:
+            out[field] = float(f"{value:.{SUMMARY_SIG_DIGITS}g}")
+    return out
+
+
+def trace_digests(recorder) -> dict[str, str]:
+    """SHA-256 of each channel's raw float64 samples (time axis included)."""
+    arrays = recorder.as_dict()
+    return {
+        name: hashlib.sha256(arrays[name].tobytes()).hexdigest()
+        for name in sorted(arrays)
+    }
+
+
+def compute_cell(
+    controller: str,
+    workload: str,
+    weather: str,
+    check_invariants: bool = True,
+    stride: int = CHECK_STRIDE,
+) -> dict[str, Any]:
+    """Run one golden cell and return its comparable record.
+
+    Module-level and returning plain JSON-compatible data, so it can cross
+    the :func:`~repro.experiments.runner.run_cells` process boundary.  The
+    run cache is deliberately *not* consulted: digests cover full traces,
+    which only a fresh simulation produces, and the checker must see every
+    tick.  (Checker state also never feeds any cache key — see
+    ``tests/validate/test_golden.py``.)
+    """
+    seed = derive_seed(BASE_SEED, controller, workload, weather)
+    trace = make_day_trace(weather, dt_seconds=DT_SECONDS, seed=seed,
+                           target_mean_w=TARGET_MEAN_W)
+    system = build_system(
+        trace, _make_workload(workload), controller=controller, seed=seed,
+        initial_soc=INITIAL_SOC, dt=DT_SECONDS,
+        invariants=check_invariants, invariant_stride=stride,
+    )
+    summary = system.run(DURATION_S)
+    record: dict[str, Any] = {
+        "cell": cell_name(controller, workload, weather),
+        "config": {
+            "controller": controller,
+            "workload": workload,
+            "weather": weather,
+            "seed": seed,
+            "target_mean_w": TARGET_MEAN_W,
+            "initial_soc": INITIAL_SOC,
+            "dt": DT_SECONDS,
+            "duration_s": DURATION_S,
+        },
+        "signals": trace_digests(system.recorder),
+        "summary": summary_fingerprint(summary),
+    }
+    if check_invariants:
+        checker = system.checker
+        record["invariants"] = {
+            "checks_run": checker.checks_run,
+            "stride": stride,
+            "violations": len(checker.violations),
+            "first_violations": [str(v) for v in checker.violations[:10]],
+        }
+    return record
+
+
+def compute_matrix(
+    cells: Sequence[Mapping[str, str]] | None = None,
+    max_workers: int | None = None,
+) -> dict[str, dict[str, Any]]:
+    """Compute records for ``cells`` (default: the full matrix), keyed by
+    cell name.  Fans out across processes via ``run_cells``."""
+    cells = list(cells) if cells is not None else matrix_cells()
+    records = run_cells(compute_cell, cells, max_workers=max_workers)
+    return {record["cell"]: record for record in records}
+
+
+# ----------------------------------------------------------------------
+# Storage and comparison
+# ----------------------------------------------------------------------
+def record_path(name: str, golden_dir: Path | str = DEFAULT_GOLDEN_DIR) -> Path:
+    return Path(golden_dir) / f"{name}.json"
+
+
+def store_record(record: Mapping[str, Any],
+                 golden_dir: Path | str = DEFAULT_GOLDEN_DIR) -> Path:
+    """Write one golden record (stable formatting for reviewable diffs)."""
+    path = record_path(record["cell"], golden_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_record(name: str,
+                golden_dir: Path | str = DEFAULT_GOLDEN_DIR) -> dict[str, Any]:
+    path = record_path(name, golden_dir)
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"no golden record {path}; seed it with `repro validate --refresh`"
+        )
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def diff_records(golden: Mapping[str, Any],
+                 fresh: Mapping[str, Any]) -> list[str]:
+    """Per-signal / per-metric differences, empty when the cell matches.
+
+    Signal digests are opaque, so each mismatch is paired with the summary
+    scalars that moved — the human-readable account of *what* changed.
+    """
+    diffs: list[str] = []
+    golden_signals = golden.get("signals", {})
+    fresh_signals = fresh.get("signals", {})
+    for name in sorted(set(golden_signals) | set(fresh_signals)):
+        expected = golden_signals.get(name)
+        observed = fresh_signals.get(name)
+        if expected != observed:
+            diffs.append(
+                f"signal {name}: digest {_short(expected)} -> {_short(observed)}"
+            )
+    golden_summary = golden.get("summary", {})
+    fresh_summary = fresh.get("summary", {})
+    for field in sorted(set(golden_summary) | set(fresh_summary)):
+        expected = golden_summary.get(field)
+        observed = fresh_summary.get(field)
+        if expected != observed:
+            diffs.append(f"summary {field}: {expected} -> {observed}")
+    if golden.get("config") != fresh.get("config"):
+        diffs.append(
+            f"config: {golden.get('config')} -> {fresh.get('config')}"
+        )
+    return diffs
+
+
+def _short(digest: str | None) -> str:
+    return digest[:12] if digest else "<missing>"
+
+
+def check_matrix(
+    golden_dir: Path | str = DEFAULT_GOLDEN_DIR,
+    cells: Sequence[Mapping[str, str]] | None = None,
+    max_workers: int | None = None,
+) -> dict[str, list[str]]:
+    """Recompute ``cells`` and compare against stored records.
+
+    Returns a mapping of cell name to its diff lines (including invariant
+    violations reported as diffs); empty diff lists mean the cell matches.
+    """
+    results = compute_matrix(cells, max_workers=max_workers)
+    report: dict[str, list[str]] = {}
+    for name, fresh in sorted(results.items()):
+        diffs: list[str] = []
+        try:
+            golden = load_record(name, golden_dir)
+        except FileNotFoundError as exc:
+            diffs.append(str(exc))
+        else:
+            diffs.extend(diff_records(golden, fresh))
+        violations = fresh.get("invariants", {}).get("violations", 0)
+        if violations:
+            diffs.append(f"{violations} invariant violation(s): "
+                         + "; ".join(fresh["invariants"]["first_violations"][:3]))
+        report[name] = diffs
+    return report
+
+
+def refresh_matrix(
+    golden_dir: Path | str = DEFAULT_GOLDEN_DIR,
+    cells: Sequence[Mapping[str, str]] | None = None,
+    max_workers: int | None = None,
+) -> list[Path]:
+    """Recompute ``cells`` and (re)write their golden records."""
+    results = compute_matrix(cells, max_workers=max_workers)
+    return [store_record(record, golden_dir)
+            for _, record in sorted(results.items())]

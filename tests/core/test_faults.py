@@ -1,0 +1,106 @@
+"""The supported fault-injection hook itself.
+
+``build_system(..., faults=[...])`` must apply each fault to the wired
+system — the same objects the controller and the physics see — so these
+tests verify the injection mechanics directly (the behavioural
+consequences are covered by ``tests/integration/test_robustness.py``).
+"""
+
+import pytest
+
+from repro.core.faults import SelfDischargeFault, SensorGainFault, StuckRelayFault
+from repro.core.system import build_system
+from repro.solar.traces import make_day_trace
+from repro.workloads import VideoSurveillance
+
+HOUR = 3600.0
+
+
+def build(**kwargs):
+    trace = make_day_trace("sunny", seed=21, target_mean_w=900.0)
+    return build_system(trace, VideoSurveillance(), seed=21,
+                        initial_soc=0.6, **kwargs)
+
+
+class TestSensorGainFault:
+    def test_applies_to_every_transducer(self):
+        system = build(faults=[SensorGainFault(0.04)])
+        sensors = system.telemetry._sensors
+        assert len(sensors) == 2 * len(system.bank)
+        assert all(s.gain == pytest.approx(1.04) for s in sensors)
+
+    def test_controller_sees_the_same_faulted_chain(self):
+        # The hook must calibrate the chain the controller actually reads,
+        # not a replacement object.
+        system = build(faults=[SensorGainFault(0.04)])
+        assert system.controller.telemetry is system.telemetry
+
+    def test_biases_sensed_voltage(self):
+        healthy = build()
+        faulted = build(faults=[SensorGainFault(0.05)])
+        healthy.run(0.5 * HOUR)
+        faulted.run(0.5 * HOUR)
+        name = healthy.bank[0].name
+        v_healthy = healthy.telemetry.sense(name).voltage
+        v_faulted = faulted.telemetry.sense(name).voltage
+        assert v_faulted > v_healthy * 1.02
+
+    def test_preserves_seeded_noise_streams(self):
+        # Same seed, same fault: the sensed trajectory stays deterministic.
+        a = build(faults=[SensorGainFault(0.03)])
+        b = build(faults=[SensorGainFault(0.03)])
+        a.run(0.5 * HOUR)
+        b.run(0.5 * HOUR)
+        for unit in a.bank:
+            assert (a.telemetry.sense(unit.name).voltage
+                    == b.telemetry.sense(unit.name).voltage)
+
+
+class TestStuckRelayFault:
+    def test_freezes_pair_in_requested_position(self):
+        system = build(faults=[StuckRelayFault("battery-2", "load")])
+        pair = system.switchnet.pairs["battery-2"]
+        assert pair.state == "load"
+        assert pair.charge.stuck and pair.discharge.stuck
+
+    def test_later_commands_are_ignored(self):
+        system = build(faults=[StuckRelayFault("battery-2", "load")])
+        system.switchnet.attach("battery-2", "charge")
+        assert system.switchnet.state_of("battery-2") == "load"
+
+    def test_unknown_bus_rejected(self):
+        with pytest.raises(ValueError, match="unknown bus"):
+            build(faults=[StuckRelayFault("battery-2", "sideways")])
+
+    def test_unknown_battery_rejected(self):
+        with pytest.raises(KeyError):
+            build(faults=[StuckRelayFault("battery-9", "load")])
+
+
+class TestSelfDischargeFault:
+    def test_scales_leakage_of_one_unit(self):
+        system = build(faults=[SelfDischargeFault("battery-3", 8.0)])
+        healthy_rate = system.bank.by_name("battery-1").params.self_discharge_per_day
+        faulted_rate = system.bank.by_name("battery-3").params.self_discharge_per_day
+        assert faulted_rate == pytest.approx(8.0 * healthy_rate)
+
+    def test_rejects_sub_unity_multiplier(self):
+        with pytest.raises(ValueError):
+            build(faults=[SelfDischargeFault("battery-1", 0.5)])
+
+
+class TestComposition:
+    def test_multiple_faults_apply_in_order(self):
+        system = build(faults=[
+            SensorGainFault(0.02),
+            StuckRelayFault("battery-1", "offline"),
+        ])
+        assert system.telemetry._sensors[0].gain == pytest.approx(1.02)
+        assert system.switchnet.pairs["battery-1"].state == "offline"
+
+    def test_faulted_build_passes_invariants(self):
+        system = build(faults=[StuckRelayFault("battery-2", "load"),
+                               SensorGainFault(0.03)],
+                       invariants=True, invariant_stride=1)
+        system.run(2 * HOUR)
+        system.checker.assert_clean()

@@ -1,14 +1,16 @@
 """Failure injection: the controller must degrade gracefully.
 
 The prototype lives in the field: sensors drift, relays stick, batteries
-age.  These tests inject each fault into a full-system run and check the
-controller keeps the installation serving without crash storms.
+age.  These tests inject each fault through the supported
+``build_system(..., faults=[...])`` hook (:mod:`repro.core.faults`) into a
+full-system run and check the controller keeps the installation serving
+without crash storms.
 """
 
 import pytest
 
 from repro.battery.params import BatteryParams, VoltageParams
-from repro.core.sensing import BatteryTelemetry
+from repro.core.faults import SelfDischargeFault, SensorGainFault, StuckRelayFault
 from repro.core.system import build_system
 from repro.solar.traces import make_day_trace
 from repro.workloads import VideoSurveillance
@@ -25,44 +27,29 @@ def healthy_system(seed=13, **kwargs):
 class TestSensorFaults:
     @pytest.mark.parametrize("gain_error", [-0.03, 0.03])
     def test_survives_uncalibrated_sensors(self, gain_error):
-        system = healthy_system()
-        # Rebuild the sensing chain with a systematic gain error.
-        system.controller.telemetry = BatteryTelemetry(
-            system.bank, gain_error=gain_error
-        )
+        system = healthy_system(faults=[SensorGainFault(gain_error)])
         summary = system.run(6 * HOUR)
         assert summary.uptime_fraction > 0.3
         assert summary.crash_count < 10
 
     def test_biased_sensors_shift_but_dont_break_estimates(self):
-        system = healthy_system()
-        system.controller.telemetry = BatteryTelemetry(
-            system.bank, gain_error=0.03
-        )
+        system = healthy_system(faults=[SensorGainFault(0.03)])
         system.run(3 * HOUR)
         for unit in system.bank:
-            estimate = system.controller.telemetry.sense(unit.name).soc_estimate
+            estimate = system.telemetry.sense(unit.name).soc_estimate
             assert abs(estimate - unit.soc) < 0.35
 
 
 class TestRelayFaults:
     def test_stuck_discharge_relay(self):
         """One cabinet frozen on the load bus: the system keeps serving."""
-        system = healthy_system()
-        pair = system.switchnet.pairs["battery-2"]
-        pair.to_load()
-        pair.discharge.force_stick()
-        pair.charge.force_stick()
+        system = healthy_system(faults=[StuckRelayFault("battery-2", "load")])
         summary = system.run(6 * HOUR)
         assert summary.uptime_fraction > 0.3
 
     def test_stuck_open_relay_loses_one_cabinet(self):
         """One cabinet stuck offline: capacity shrinks, service survives."""
-        system = healthy_system()
-        pair = system.switchnet.pairs["battery-3"]
-        pair.to_offline()
-        pair.discharge.force_stick()
-        pair.charge.force_stick()
+        system = healthy_system(faults=[StuckRelayFault("battery-3", "offline")])
         summary = system.run(6 * HOUR)
         assert summary.uptime_fraction > 0.3
         # The stuck cabinet never carried load.
@@ -89,6 +76,11 @@ class TestAgedBatteries:
         aged = healthy_system(battery_params=aged_params).run(6 * HOUR)
         assert aged.processed_gb <= fresh.processed_gb * 1.05
 
+    def test_leaky_cabinet_still_serves(self):
+        system = healthy_system(faults=[SelfDischargeFault("battery-2", 10.0)])
+        summary = system.run(6 * HOUR)
+        assert summary.uptime_fraction > 0.3
+
 
 class TestMismatchedBank:
     def test_wildly_uneven_initial_socs(self):
@@ -97,3 +89,19 @@ class TestMismatchedBank:
         assert summary.uptime_fraction > 0.3
         # The SPM must have worked on the empty cabinet.
         assert system.bank.by_name("battery-3").soc > 0.1
+
+
+class TestFaultedRunsStayPhysical:
+    """Faulted hardware still obeys physics: the invariant checker rides
+    along each injection and must stay clean."""
+
+    @pytest.mark.parametrize("faults", [
+        [SensorGainFault(0.03)],
+        [StuckRelayFault("battery-2", "load")],
+        [StuckRelayFault("battery-3", "offline"), SensorGainFault(-0.03)],
+    ])
+    def test_invariants_hold_under_faults(self, faults):
+        system = healthy_system(faults=faults, invariants=True,
+                                invariant_stride=6)
+        system.run(6 * HOUR)
+        system.checker.assert_clean()

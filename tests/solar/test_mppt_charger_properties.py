@@ -1,0 +1,80 @@
+"""Charger/bus draw can never exceed the MPPT-extracted budget.
+
+The power budget that reaches the DC bus is whatever the P&O tracker
+pulls off the panel — a path with real dynamics (probe oscillation,
+direction reversals, knee walking after irradiance jumps).  Hypothesis
+feeds arbitrary irradiance traces through the tracker and checks that
+downstream consumers (the solar charger, the power bus) treat the
+extracted power as a hard ceiling at every tick.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery.bank import BatteryBank
+from repro.battery.charger import SolarCharger
+from repro.battery.unit import BatteryMode, BatteryUnit
+from repro.power.bus import PowerBus
+from repro.solar.mppt import PerturbObserveMPPT
+from repro.solar.panel import PVPanel
+
+irradiance_traces = st.lists(st.floats(0.0, 1200.0), min_size=5, max_size=50)
+
+
+@given(irradiances=irradiance_traces, dt=st.sampled_from([1.0, 5.0, 30.0]))
+@settings(max_examples=80, deadline=None)
+def test_tracker_output_bounded_by_panel_physics(irradiances, dt):
+    """Whatever the trace, extraction sits in [0, true MPP]."""
+    panel = PVPanel()
+    mppt = PerturbObserveMPPT(panel)
+    for irradiance in irradiances:
+        power = mppt.step(irradiance, dt)
+        assert power >= 0.0
+        assert power <= panel.max_power(irradiance) + 1e-9
+        if irradiance == 0.0:
+            assert power == pytest.approx(0.0, abs=1e-12)
+
+
+@given(
+    irradiances=irradiance_traces,
+    socs=st.lists(st.floats(0.05, 0.95), min_size=1, max_size=4),
+    dt=st.sampled_from([1.0, 5.0, 30.0]),
+)
+@settings(max_examples=80, deadline=None)
+def test_charger_never_draws_above_mppt_budget(irradiances, socs, dt):
+    """The charger's draw tracks the tick-by-tick MPPT budget, never the
+    nameplate: for any irradiance trace, ``power_used_w <= budget``."""
+    panel = PVPanel()
+    mppt = PerturbObserveMPPT(panel)
+    charger = SolarCharger()
+    units = [BatteryUnit(f"u{i}", soc=s) for i, s in enumerate(socs)]
+    for irradiance in irradiances:
+        budget = mppt.step(irradiance, dt)
+        result = charger.step(units, budget, dt)
+        assert result.power_used_w <= budget + 1e-6
+        assert result.power_used_w >= 0.0
+
+
+@given(
+    irradiances=irradiance_traces,
+    demand=st.floats(0.0, 1500.0),
+    dt=st.sampled_from([1.0, 5.0, 30.0]),
+)
+@settings(max_examples=80, deadline=None)
+def test_bus_never_spends_more_solar_than_the_tracker_extracted(
+        irradiances, demand, dt):
+    """Bus-level ceiling: direct-to-load plus charging can never exceed
+    the MPPT budget — surplus must show up as curtailment, not free W."""
+    panel = PVPanel()
+    mppt = PerturbObserveMPPT(panel)
+    bank = BatteryBank.build(count=3, soc=0.6)
+    for unit in bank:
+        unit.set_mode(BatteryMode.CHARGING)
+    bus = PowerBus(bank)
+    for irradiance in irradiances:
+        budget = mppt.step(irradiance, dt)
+        report = bus.resolve(budget, demand, dt)
+        spent = report.solar_to_load_w + report.charge_power_w
+        assert spent <= budget + max(1e-6, budget * 1e-9)
+        assert report.curtailed_w >= -1e-9

@@ -1,0 +1,104 @@
+"""Golden-trace regression suite (``pytest -m golden``).
+
+Recomputes the controller × workload × weather matrix and compares every
+cell's per-signal trace digests and coarse summary fingerprint against the
+records pinned under ``tests/golden/``.  A mismatch fails loudly with the
+per-signal diff summary; after an *intentional* behaviour change, refresh
+with ``python -m repro validate --refresh`` and review the JSON diff.
+
+Also pins the determinism claims the harness rests on: identical digests
+across worker counts (``--jobs 1`` vs ``--jobs 4``) and across run-cache
+states (cold vs replay), and cache keys independent of checker state.
+"""
+
+import pytest
+
+from repro.sim.cache import RunCache, cache_key
+from repro.validate import golden
+
+pytestmark = pytest.mark.golden
+
+CELLS = golden.matrix_cells()
+CELL_NAMES = [golden.cell_name(**cell) for cell in CELLS]
+
+
+@pytest.fixture(scope="module")
+def matrix_results():
+    """Every golden cell, computed once for the whole module (fanned out
+    through the experiment runner)."""
+    return golden.compute_matrix(CELLS)
+
+
+@pytest.mark.parametrize("name", CELL_NAMES)
+def test_cell_matches_golden_record(matrix_results, name):
+    record = golden.load_record(name)
+    fresh = matrix_results[name]
+    diffs = golden.diff_records(record, fresh)
+    if diffs:
+        detail = "\n  ".join(diffs)
+        pytest.fail(
+            f"golden cell {name} diverged:\n  {detail}\n"
+            f"(intentional change? `python -m repro validate --refresh` "
+            f"and review the diff — see docs/validation.md)"
+        )
+
+
+def test_matrix_runs_with_zero_invariant_violations(matrix_results):
+    violating = {
+        name: record["invariants"]
+        for name, record in matrix_results.items()
+        if record["invariants"]["violations"]
+    }
+    assert not violating, f"invariant violations in {violating}"
+
+
+def test_matrix_covers_full_day_runs(matrix_results):
+    # ~17k ticks per cell: duration / dt, checked at the recorded stride.
+    expected_checks = int(golden.DURATION_S / golden.DT_SECONDS
+                          / golden.CHECK_STRIDE)
+    for record in matrix_results.values():
+        assert record["invariants"]["checks_run"] == expected_checks
+
+
+def test_digests_identical_across_worker_counts(matrix_results):
+    """Same seed, ``--jobs 4`` process fan-out: bit-identical digests."""
+    subset = [CELLS[0], CELLS[-1]]
+    parallel = golden.compute_matrix(subset, max_workers=4)
+    for cell in subset:
+        name = golden.cell_name(**cell)
+        assert parallel[name]["signals"] == matrix_results[name]["signals"]
+        assert parallel[name]["summary"] == matrix_results[name]["summary"]
+
+
+def test_summary_fingerprint_identical_cache_cold_vs_replay(tmp_path,
+                                                            monkeypatch):
+    """The cached-summary path reproduces the golden fingerprint exactly."""
+    from repro.experiments.fullsystem import run_single
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cold = run_single("insure", "video", "sunny", 800.0, seed=11)
+    assert RunCache(tmp_path).entry_count() == 1
+    replay = run_single("insure", "video", "sunny", 800.0, seed=11)
+    assert replay == cold
+    assert (golden.summary_fingerprint(replay)
+            == golden.summary_fingerprint(cold))
+
+
+def test_cache_keys_are_checker_independent():
+    """Enabling the invariant checker must not shift any cache key: keys
+    hash only the run configuration (plus the code fingerprint), never
+    engine observer state."""
+    parts = dict(controller="insure", workload="video", profile="sunny",
+                 solar_mean_w=800.0, seed=1, initial_soc=0.55, dt=5.0)
+    assert (cache_key("fullsystem.run_single", **parts)
+            == cache_key("fullsystem.run_single", **parts))
+    from repro.core.system import build_system
+    from repro.solar.traces import make_day_trace
+    from repro.workloads import VideoSurveillance
+
+    trace = make_day_trace("sunny", seed=2, target_mean_w=700.0)
+    checked = build_system(trace, VideoSurveillance(), seed=2,
+                           initial_soc=0.6, invariants=True)
+    plain = build_system(trace, VideoSurveillance(), seed=2,
+                         initial_soc=0.6)
+    assert checked.run(2 * 3600.0) == plain.run(2 * 3600.0)
