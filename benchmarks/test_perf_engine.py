@@ -111,6 +111,62 @@ def test_invariant_checker_overhead():
     assert overhead < 0.15, f"checker overhead {overhead * 100:.1f}% >= 15%"
 
 
+def test_observability_overhead():
+    """Observability must stay under the 5 % gate when on, free when off.
+
+    On: stride-sampled span tracing plus collection-time gauges and the
+    decision log cost < 5 % wall time on the BENCH cell.  Off is the
+    default build — nothing attached, so there is nothing to measure.
+    Either way the same-seed traces are bit-identical: the instruments
+    only read plant state (proven by digest equality here and in
+    ``tests/obs/test_observability_system.py``).
+    """
+    from repro.obs.hub import Observability
+
+    def trace_hash(system):
+        digest = hashlib.sha256()
+        for name in ("t",) + system.recorder.names:
+            digest.update(system.recorder[name].tobytes())
+        return digest.hexdigest()
+
+    def timed_obs_run(observability):
+        trace = make_day_trace("sunny", dt_seconds=DT, seed=1,
+                               target_mean_w=1000.0)
+        system = build_system(trace, SeismicAnalysis(), controller="insure",
+                              seed=1, initial_soc=0.55, dt=DT,
+                              observability=observability)
+        t0 = time.perf_counter()
+        system.run()
+        return system, time.perf_counter() - t0
+
+    # Best-of-2 minima, same rationale as the invariant-checker gate.
+    plain, plain_s = timed_obs_run(None)
+    observed, observed_s = timed_obs_run(Observability())
+    plain_s = min(plain_s, timed_obs_run(None)[1])
+    observed_s = min(observed_s, timed_obs_run(Observability())[1])
+    overhead = observed_s / plain_s - 1.0
+
+    obs = observed.obs
+    banner("Observability overhead (BENCH cell, span stride "
+           f"{obs.tracer.stride})")
+    row("disabled", f"{plain_s:.2f} s")
+    row("enabled", f"{observed_s:.2f} s",
+        f"{overhead * 100:+.1f} %  ({obs.tracer.sampled_ticks} ticks "
+        f"sampled, {len(obs.decisions)} decisions)")
+
+    assert plain.obs is None
+    assert trace_hash(plain) == trace_hash(observed)
+    # The instruments really ran: every tick counted, 1-in-stride sampled,
+    # and the controllers routed decisions through the log.
+    ticks_run = observed.engine.clock.step_index
+    assert obs.tracer.ticks_seen == ticks_run > 0
+    assert obs.tracer.sampled_ticks >= ticks_run // obs.tracer.stride
+    assert {r["span"] for r in obs.tracer.report_rows()} >= {
+        "insure", "plant", "controller.sense"}
+    assert len(obs.decisions) > 0
+    assert overhead < 0.05, f"observability overhead {overhead * 100:.1f}% >= 5%"
+
+
 def test_cache_key_distinguishes_configurations(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     keys = {

@@ -11,6 +11,8 @@ Run reproduction experiments without writing code::
     python -m repro plan --gb-per-day 120 --sunshine 0.7 --days 180
     python -m repro validate --jobs 4
     python -m repro validate --refresh
+    python -m repro validate --sweep-hours 36 --report sweep.json
+    python -m repro profile run --workload seismic --solar sunny --out prof/
 """
 
 from __future__ import annotations
@@ -194,6 +196,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     golden_dir = args.golden_dir or golden.DEFAULT_GOLDEN_DIR
     cells = _parse_cells(args.cell)
     count = len(cells) if cells else len(golden.matrix_cells())
+    if args.sweep_hours is not None:
+        return _run_sweep(args, cells, count)
     if args.refresh:
         print(f"refreshing {count} golden cell(s) …")
         paths = golden.refresh_matrix(golden_dir, cells=cells,
@@ -220,6 +224,84 @@ def _cmd_validate(args: argparse.Namespace) -> int:
               f"review the digest diff (see docs/validation.md)")
         return 1
     print("\nall cells match; physics invariants clean")
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace, cells, count: int) -> int:
+    """Extended-horizon invariant sweep (the nightly CI job's workhorse)."""
+    import json
+
+    from repro.validate import golden
+
+    hours = args.sweep_hours
+    if hours <= 0:
+        raise SystemExit(f"--sweep-hours must be positive, got {hours}")
+    print(f"invariant sweep: {count} cell(s) over {hours:g} h …")
+    verdicts = golden.invariant_sweep(hours * 3600.0, cells=cells,
+                                     max_workers=args.jobs)
+    violated = 0
+    for name, verdict in sorted(verdicts.items()):
+        violations = verdict.get("violations", 0)
+        status = "ok  " if not violations else "FAIL"
+        print(f"  {status} {name}: {verdict['checks_run']} checks, "
+              f"{violations} violation(s)")
+        for line in verdict.get("first_violations", [])[:3]:
+            print(f"       {line}")
+        violated += bool(violations)
+    if args.report:
+        from pathlib import Path
+
+        Path(args.report).write_text(
+            json.dumps({"sweep_hours": hours, "cells": verdicts},
+                       indent=2, sort_keys=True) + "\n")
+        print(f"report written to {args.report}")
+    if violated:
+        print(f"\n{violated}/{len(verdicts)} cell(s) violated invariants")
+        return 1
+    print("\nall cells clean")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import (
+        profile_run,
+        render_breakdown,
+        render_decisions,
+        render_hottest,
+        write_outputs,
+    )
+
+    duration_s = args.duration_h * 3600.0 if args.duration_h else None
+    result = profile_run(
+        controller=args.controller,
+        workload=args.workload,
+        weather=args.solar,
+        mean_w=args.mean_w,
+        seed=args.seed,
+        initial_soc=args.initial_soc,
+        stride=args.stride,
+        duration_s=duration_s,
+        cprofile_path=args.cprofile,
+    )
+    ticks_per_s = result.ticks / result.wall_s if result.wall_s else 0.0
+    print(f"{args.controller} / {args.workload} / {args.solar} "
+          f"({args.mean_w:.0f} W avg, seed {args.seed}) — "
+          f"{result.ticks} ticks in {result.wall_s:.2f} s "
+          f"({ticks_per_s:,.0f} ticks/s)")
+    print()
+    print(render_breakdown(result))
+    print()
+    print(render_hottest(result))
+    print()
+    print(render_decisions(result))
+    if args.cprofile:
+        print(f"\ncProfile stats written to {result.cprofile_path} "
+              f"(snakeviz/flameprof compatible)")
+    if args.out:
+        paths = write_outputs(result, args.out)
+        print()
+        for label, path in sorted(paths.items()):
+            print(f"{label:16s} {path}")
     return 0
 
 
@@ -300,7 +382,36 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--golden-dir", default=None,
                           help="golden record directory "
                                "(default: tests/golden in the checkout)")
+    validate.add_argument("--sweep-hours", type=float, default=None,
+                          metavar="H",
+                          help="skip digest comparison; run an H-hour "
+                               "invariant sweep instead (nightly CI mode)")
+    validate.add_argument("--report", default=None, metavar="PATH",
+                          help="write the sweep verdicts as JSON here "
+                               "(only with --sweep-hours)")
     validate.set_defaults(func=_cmd_validate)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run with observability attached and print a time breakdown",
+    )
+    profile_sub = profile.add_subparsers(dest="profile_command", required=True)
+    profile_run_p = profile_sub.add_parser(
+        "run", help="profile one simulated day (or --duration-h hours)"
+    )
+    profile_run_p.add_argument("--controller", default="insure",
+                               choices=("insure", "baseline"))
+    add_run_options(profile_run_p)
+    profile_run_p.add_argument("--duration-h", type=float, default=None,
+                               help="horizon in hours (default: full trace)")
+    profile_run_p.add_argument("--stride", type=int, default=16,
+                               help="trace every Nth tick (default 16)")
+    profile_run_p.add_argument("--out", default=None, metavar="DIR",
+                               help="write metrics/decisions/spans/breakdown "
+                                    "artifacts into DIR")
+    profile_run_p.add_argument("--cprofile", default=None, metavar="PATH",
+                               help="also write cProfile stats to PATH")
+    profile_run_p.set_defaults(func=_cmd_profile)
 
     plan = sub.add_parser("plan", help="in-situ vs cloud deployment economics")
     plan.add_argument("--gb-per-day", type=float, required=True)

@@ -71,6 +71,8 @@ class BaselineController(PowerManager):
         if target != self.vm_target:
             self.vm_target = target
             self.allocator.set_target(target, t)
+            self.decisions.record(t, "vm.target", self.name, target=target,
+                                  reason="renewable-tracking")
 
     def start(self, clock: Clock) -> None:
         min_soc = min(
@@ -84,18 +86,21 @@ class BaselineController(PowerManager):
             self.switchnet.attach(unit.name, bus, clock.t)
 
     def step(self, clock: Clock) -> None:
-        self.telemetry.plc.step(clock)
-        self.telemetry.refresh(clock.dt)
-        self._update_solar_ema(clock.dt)
+        tracer = self.tracer
+        with tracer.span("controller.sense"):
+            self.telemetry.plc.step(clock)
+            self.telemetry.refresh(clock.dt)
+            self._update_solar_ema(clock.dt)
         self._elapsed += clock.dt
         if self._elapsed < self.params.control_interval_s:
             return
         self._elapsed = 0.0
         self._since_upscale += self.params.control_interval_s
-        if self.buffer_online:
-            self._online_period(clock)
-        else:
-            self._charging_period(clock)
+        with tracer.span("controller.decide"):
+            if self.buffer_online:
+                self._online_period(clock)
+            else:
+                self._charging_period(clock)
         if not self.allocator.running_matches_target():
             self.allocator.sync(clock.t)
 
@@ -122,6 +127,8 @@ class BaselineController(PowerManager):
                 self.checkpoint_stops += 1
                 self.vm_target = 0
                 self._trip_pending = True
+                self.decisions.record(t, "buffer.trip", self.name,
+                                      reason="bank-protection")
             if not self.rack.active_servers():
                 for unit in self.bank:
                     self.transition(unit, BatteryMode.OFFLINE, "protect", t)
@@ -165,3 +172,5 @@ class BaselineController(PowerManager):
                 self.transition(unit, BatteryMode.STANDBY, "capacity-goal", t)
             self.buffer_online = True
             self.events.emit(t, "buffer.online", self.name, reason="charged")
+            self.decisions.record(t, "buffer.online", self.name,
+                                  reason="charged")

@@ -15,6 +15,8 @@ from repro.cluster.allocator import NodeAllocator
 from repro.cluster.rack import ServerRack
 from repro.core.modes import ModeTransition, bus_for_mode
 from repro.core.sensing import BatteryTelemetry
+from repro.obs.decisions import NULL_DECISIONS
+from repro.obs.spans import NULL_TRACER
 from repro.power.relays import SwitchNetwork
 from repro.sim.clock import Clock
 from repro.sim.component import Component
@@ -81,6 +83,11 @@ class PowerManager(Component):
         #: when set, mode changes are *requested* through PLC registers
         #: and applied by the scan cycle under its safety interlocks.
         self.plc_program = None
+        #: Decision-event sink and span tracer; no-op singletons unless an
+        #: Observability bundle replaces them.  Both only record — they
+        #: never feed back into control decisions.
+        self.decisions = NULL_DECISIONS
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # Sensing helpers
@@ -122,6 +129,9 @@ class PowerManager(Component):
         self.mode_transitions.append(change)
         self.events.emit(t, "buffer.mode", unit.name,
                          to=to_mode.value, reason=reason)
+        self.decisions.record(t, "buffer.mode", unit.name,
+                              from_mode=change.from_mode.value,
+                              to_mode=to_mode.value, reason=reason)
         return True
 
     def checkpoint_and_stop(self, t: float, reason: str) -> None:
@@ -130,6 +140,7 @@ class PowerManager(Component):
         self.allocator.set_target(0, t)
         self.rack.graceful_stop_all(t)
         self.events.emit(t, "load.checkpoint_stop", self.name, reason=reason)
+        self.decisions.record(t, "load.checkpoint_stop", self.name, reason=reason)
 
     def supportable_vms(self, battery_power_w: float, preferred: int) -> int:
         """VM count the current power situation can sustain."""

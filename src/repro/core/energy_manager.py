@@ -92,19 +92,23 @@ class InsureController(PowerManager):
                 self.switchnet.attach(unit.name, "offline", clock.t)
 
     def step(self, clock: Clock) -> None:
-        self.telemetry.plc.step(clock)
-        self.telemetry.refresh(clock.dt)
-        self._update_solar_ema(clock.dt)
+        tracer = self.tracer
+        with tracer.span("controller.sense"):
+            self.telemetry.plc.step(clock)
+            self.telemetry.refresh(clock.dt)
+            self._update_solar_ema(clock.dt)
 
         self._tpm_elapsed += clock.dt
         if self._tpm_elapsed >= self.params.tpm_interval_s:
             self._tpm_elapsed = 0.0
-            self._temporal_period(clock)
+            with tracer.span("controller.decide.tpm"):
+                self._temporal_period(clock)
 
         self._spm_elapsed += clock.dt
         if self._spm_elapsed >= self.params.spm_interval_s:
             self._spm_elapsed = 0.0
-            self._spatial_period(clock)
+            with tracer.span("controller.decide.spm"):
+                self._spatial_period(clock)
 
     # ------------------------------------------------------------------
     # TPM (fine-grained)
@@ -121,6 +125,8 @@ class InsureController(PowerManager):
             self._since_crash = 0.0
             self.vm_target = 0
             self.allocator.set_target(0, t)
+            self.decisions.record(t, "vm.target", self.name, target=0,
+                                  reason="crash-backoff")
         self._ensure_online_reserve(t)
         online = self.online_units()
         online_names = [u.name for u in online]
@@ -228,6 +234,9 @@ class InsureController(PowerManager):
             # only rarely (checkpoint + resume with different instances).
             new_duty = self.temporal.next_duty(self.duty, action)
             if new_duty != self.duty:
+                self.decisions.record(t, "dvfs.duty", self.name,
+                                      from_duty=self.duty, to_duty=new_duty,
+                                      action=action.name.lower())
                 self.duty = new_duty
                 self.rack.set_duty(new_duty, t)
             if (
@@ -239,6 +248,9 @@ class InsureController(PowerManager):
                 self._since_batch_reconfig = 0.0
                 self.vm_target = cap_target
                 self.allocator.set_target(cap_target, t)
+                self.decisions.record(t, "vm.target", self.name,
+                                      target=cap_target,
+                                      reason="batch-upscale")
             elif (
                 action is TemporalAction.CAP
                 and self.duty <= self.params.temporal.duty_min
@@ -250,6 +262,9 @@ class InsureController(PowerManager):
                 self._since_batch_reconfig = 0.0
                 self.vm_target -= self.params.temporal.vm_step
                 self.allocator.set_target(self.vm_target, t)
+                self.decisions.record(t, "vm.target", self.name,
+                                      target=self.vm_target,
+                                      reason="duty-floor-shed")
         else:
             new_target = self.temporal.next_vm_target(
                 self.vm_target, self.workload.preferred_vms, action
@@ -268,8 +283,12 @@ class InsureController(PowerManager):
                     return
                 self._since_downscale = 0.0
             if new_target != self.vm_target:
+                reason = ("safety-cap" if action is TemporalAction.CAP
+                          else "sizing")
                 self.vm_target = new_target
                 self.allocator.set_target(new_target, t)
+                self.decisions.record(t, "vm.target", self.name,
+                                      target=new_target, reason=reason)
 
     # ------------------------------------------------------------------
     # Mode bookkeeping (transitions 3/6/7)
@@ -299,6 +318,7 @@ class InsureController(PowerManager):
             self.rack.set_duty(1.0, t)
             self.allocator.set_target(target, t)
             self.events.emit(t, "load.restart", self.name, vms=target)
+            self.decisions.record(t, "load.restart", self.name, vms=target)
 
     # ------------------------------------------------------------------
     # SPM (coarse-grained)

@@ -29,6 +29,8 @@ from repro.core.baseline import BaselineController, BaselineParams
 from repro.core.controller_base import PowerManager
 from repro.core.energy_manager import InsureController, InsureParams
 from repro.core.sensing import BatteryTelemetry
+from repro.obs.decisions import NULL_DECISIONS
+from repro.obs.hub import Observability
 from repro.power.bus import BusReport, PowerBus
 from repro.power.relays import SwitchNetwork
 from repro.sim.clock import Clock
@@ -70,6 +72,8 @@ class PlantCoupler(Component):
         self.events = events
         self.last_report: BusReport | None = None
         self.shed_events = 0
+        #: Decision-event sink (no-op unless observability is attached).
+        self.decisions = NULL_DECISIONS
         #: Rack demand sampled this tick, still valid for downstream
         #: readers (None whenever a shed changed the rack afterwards).
         self.last_server_demand_w: float | None = None
@@ -91,6 +95,9 @@ class PlantCoupler(Component):
             self.shed_events += 1
             self.events.emit(clock.t, "power.unserved", self.name,
                              watts=report.unserved_w)
+            self.decisions.record(clock.t, "power.shed", self.name,
+                                  unserved_w=report.unserved_w,
+                                  demand_w=report.demand_w)
             compute = 0.0
             self.last_server_demand_w = None  # rack state changed under us
         self.workload.step(clock.t, clock.dt, compute)
@@ -115,6 +122,8 @@ class InSituSystem:
     events: EventLog
     #: Physics-invariant observer; None unless built with ``invariants=True``.
     checker: InvariantChecker | None = None
+    #: Observability bundle; None unless built with ``observability=...``.
+    obs: Observability | None = None
 
     def run(self, duration_s: float | None = None) -> RunSummary:
         """Run for ``duration_s`` (default: the trace length) and summarise."""
@@ -148,6 +157,7 @@ def build_system(
     invariants: bool = False,
     invariant_stride: int = 12,
     faults: Sequence | None = None,
+    observability: Observability | bool | None = None,
 ) -> InSituSystem:
     """Assemble a complete in-situ installation around a solar day trace.
 
@@ -188,6 +198,12 @@ def build_system(
     faults:
         Fault injections (see :mod:`repro.core.faults`) applied to the
         fully wired system before it is returned.
+    observability:
+        Attach an :class:`~repro.obs.hub.Observability` bundle (metrics
+        registry, sampled span tracer, decision-event log); ``True``
+        builds a default bundle.  Off by default; the instruments only
+        read plant state and time the loop, so attaching them never
+        changes a run's trajectory (same-seed traces stay bit-identical).
     """
     if source is None:
         if trace is None:
@@ -289,4 +305,8 @@ def build_system(
     )
     for fault in faults or ():
         fault.apply(system)
+    if observability:
+        obs = observability if isinstance(observability, Observability) \
+            else Observability()
+        system.obs = obs.attach(system)
     return system

@@ -20,9 +20,17 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import time
+import warnings
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.obs.registry import global_registry
+
 ENV_WORKERS = "REPRO_WORKERS"
+
+#: Histogram buckets for cell runtimes (sub-second replays to minutes).
+_CELL_SECONDS_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+                         30.0, 60.0, 120.0, 300.0)
 
 
 def derive_seed(base_seed: int, *labels: object, bits: int = 31) -> int:
@@ -52,7 +60,33 @@ def default_workers(cells: int | None = None) -> int:
 
 
 def _run_serial(fn: Callable[..., Any], cells: Sequence[Mapping[str, Any]]) -> list[Any]:
-    return [fn(**cell) for cell in cells]
+    """Serial loop with per-cell runtime rollups into the global registry."""
+    registry = global_registry()
+    cell_seconds = registry.histogram("runner.cell_seconds",
+                                      "wall time per experiment cell",
+                                      buckets=_CELL_SECONDS_BUCKETS)
+    cells_total = registry.counter("runner.cells_total",
+                                   "experiment cells executed")
+    results = []
+    for cell in cells:
+        t0 = time.perf_counter()
+        results.append(fn(**cell))
+        cell_seconds.observe(time.perf_counter() - t0)
+        cells_total.inc()
+    return results
+
+
+def _fall_back_to_serial(fn, cells, exc: BaseException) -> list[Any]:
+    """Warn once and degrade to the serial loop (identical results)."""
+    warnings.warn(
+        f"process pool unavailable for {len(cells)} cell(s) "
+        f"({type(exc).__name__}: {exc}); running serially",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    global_registry().counter("runner.pool_fallbacks_total",
+                              "times the process pool was unavailable").inc()
+    return _run_serial(fn, cells)
 
 
 def run_cells(
@@ -83,16 +117,26 @@ def run_cells(
 
     try:
         from concurrent.futures import ProcessPoolExecutor
-    except ImportError:  # pragma: no cover - stdlib always has it
-        return _run_serial(fn, cells)
+    except ImportError as exc:  # pragma: no cover - stdlib always has it
+        return _fall_back_to_serial(fn, cells, exc)
 
+    registry = global_registry()
     try:
+        t0 = time.perf_counter()
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(fn, **cell) for cell in cells]
-            return [future.result() for future in futures]
+            results = [future.result() for future in futures]
+        registry.histogram("runner.batch_seconds",
+                           "wall time per parallel cell batch",
+                           buckets=_CELL_SECONDS_BUCKETS).observe(
+            time.perf_counter() - t0)
+        registry.counter("runner.cells_total",
+                         "experiment cells executed").inc(len(cells))
+        return results
     except (OSError, ValueError, RuntimeError, NotImplementedError,
-            ImportError, AttributeError, pickle.PicklingError):
-        # Platforms without fork/spawn support, restricted environments,
-        # or unpicklable work (lambdas, closures) degrade to the serial
+            ImportError, AttributeError, pickle.PicklingError) as exc:
+        # Platforms without fork/spawn support, restricted environments
+        # (e.g. a sandboxed /dev/shm breaking multiprocessing locks), or
+        # unpicklable work (lambdas, closures) degrade to the serial
         # path, whose results are identical by construction.
-        return _run_serial(fn, cells)
+        return _fall_back_to_serial(fn, cells, exc)

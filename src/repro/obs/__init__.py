@@ -1,0 +1,50 @@
+"""Observability layer: metrics registry, span tracing, decision events.
+
+Three instruments, one bundle (:class:`Observability`):
+
+* :mod:`repro.obs.registry` — zero-dependency counters, gauges and
+  fixed-bucket histograms with JSONL and Prometheus-text export;
+* :mod:`repro.obs.spans` — sampled span tracing of the tick loop with
+  per-component wall-time attribution and hottest-tick capture;
+* :mod:`repro.obs.decisions` — structured controller decision events
+  (mode switches, VM retargets, duty changes, checkpoint triggers)
+  written to JSONL and joinable against recorded traces.
+
+Observability is strictly read-only with respect to the simulation: a run
+with it attached produces bit-identical same-seed traces (enforced by the
+golden harness and the <5 % overhead gate in ``benchmarks/``).
+
+``repro.obs.profile`` (imported lazily to keep this package free of any
+dependency on the system assembly) drives instrumented full-system runs
+for ``repro profile run``.
+"""
+
+from repro.obs.decisions import NULL_DECISIONS, Decision, DecisionLog, NullDecisionLog
+from repro.obs.hub import Observability
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    reset_global_registry,
+)
+from repro.obs.spans import NULL_TRACER, NullTracer, SpanStats, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Decision",
+    "DecisionLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_DECISIONS",
+    "NULL_TRACER",
+    "NullDecisionLog",
+    "NullTracer",
+    "Observability",
+    "SpanStats",
+    "SpanTracer",
+    "global_registry",
+    "reset_global_registry",
+]

@@ -1,0 +1,129 @@
+"""Structured controller decision events.
+
+The power managers *decide* things — battery mode switches and rotations,
+VM retargets, DVFS duty changes, checkpoint/shutdown triggers, restarts —
+and in the prototype those decisions are exactly what the operator tails
+to understand a bad day.  A :class:`DecisionLog` records them as typed
+events with a free-form payload and exports them as JSONL so
+:func:`repro.telemetry.analyzer.join_decisions` can join them against the
+recorded trace channels.
+
+Controllers always call ``self.decisions.record(...)``; by default that is
+the shared :data:`NULL_DECISIONS` no-op, so an uninstrumented run pays one
+attribute load plus a vacuous call per (rare) decision and the same-seed
+trajectory is untouched either way.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+#: Decision kinds emitted by the stock controllers (the event schema's
+#: ``kind`` vocabulary; see docs/observability.md for payload fields).
+KNOWN_KINDS = (
+    "buffer.mode",
+    "buffer.trip",
+    "buffer.online",
+    "vm.target",
+    "dvfs.duty",
+    "load.checkpoint_stop",
+    "load.restart",
+    "power.shed",
+)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One recorded controller decision."""
+
+    t: float
+    kind: str
+    source: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {"t": self.t, "kind": self.kind, "source": self.source, **self.data}
+        return json.dumps(payload, sort_keys=True)
+
+
+class NullDecisionLog:
+    """Do-nothing sink wired into controllers by default."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def record(self, t: float, kind: str, source: str, **data: Any) -> None:
+        return None
+
+
+NULL_DECISIONS = NullDecisionLog()
+
+
+class DecisionLog:
+    """Append-only decision store with JSONL round-tripping.
+
+    Parameters
+    ----------
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when given,
+        every record increments a ``decisions_total{kind=...}`` counter.
+    """
+
+    enabled = True
+
+    def __init__(self, registry=None) -> None:
+        self._decisions: list[Decision] = []
+        self._registry = registry
+
+    def record(self, t: float, kind: str, source: str, **data: Any) -> Decision:
+        decision = Decision(t=float(t), kind=kind, source=source, data=data)
+        self._decisions.append(decision)
+        if self._registry is not None:
+            self._registry.counter("decisions_total", kind=kind).inc()
+        return decision
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    def __iter__(self) -> Iterator[Decision]:
+        return iter(self._decisions)
+
+    def of_kind(self, kind: str) -> list[Decision]:
+        """Decisions whose kind equals or is prefixed by ``kind``."""
+        prefix = kind + "."
+        return [d for d in self._decisions if d.kind == kind or d.kind.startswith(prefix)]
+
+    def counts(self) -> dict[str, int]:
+        """Decision totals per kind, kind-sorted."""
+        totals: dict[str, int] = {}
+        for decision in self._decisions:
+            totals[decision.kind] = totals.get(decision.kind, 0) + 1
+        return dict(sorted(totals.items()))
+
+    # ------------------------------------------------------------------
+    # JSONL round trip
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        return "".join(decision.to_json() + "\n" for decision in self._decisions)
+
+    def write_jsonl(self, path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_jsonl(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_jsonl(cls, path) -> "DecisionLog":
+        log = cls()
+        for line in Path(path).read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            payload = json.loads(line)
+            t = payload.pop("t")
+            kind = payload.pop("kind")
+            source = payload.pop("source")
+            log.record(t, kind, source, **payload)
+        return log

@@ -1,0 +1,139 @@
+"""Observability hub: one object wiring the three instruments together.
+
+An :class:`Observability` bundles a metrics registry, a span tracer and a
+decision log, and :meth:`Observability.attach` fastens them onto an
+assembled :class:`~repro.core.system.InSituSystem`:
+
+* the tracer is handed to the engine (sampled tick-loop spans) and the
+  controller (sense/decide sub-spans);
+* the decision log replaces the controllers' no-op sink;
+* gauges for every component's interesting state — battery SoC/voltage,
+  rack demand, workload backlog, PLC scan count, controller duty and VM
+  target — are registered as *collection-time* callables, so the tick
+  loop pays nothing for them.
+
+Everything here only reads simulation state.  Attaching observability to
+a run never changes its same-seed trajectory (proven bit-identical in the
+golden harness and ``benchmarks/test_perf_engine.py``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.decisions import DecisionLog
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import DEFAULT_STRIDE, SpanTracer
+
+
+class Observability:
+    """Per-run observability bundle.
+
+    Parameters
+    ----------
+    registry / tracer / decisions:
+        Pre-built instruments to use; fresh ones are created by default.
+    trace_stride:
+        Tick sampling stride for the default tracer.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: SpanTracer | None = None,
+        decisions: DecisionLog | None = None,
+        trace_stride: int = DEFAULT_STRIDE,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else SpanTracer(stride=trace_stride)
+        self.decisions = decisions if decisions is not None else DecisionLog(registry=self.registry)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, system) -> "Observability":
+        """Instrument an assembled system in place; returns self."""
+        system.engine.tracer = self.tracer
+        system.controller.tracer = self.tracer
+        system.controller.decisions = self.decisions
+        system.plant.decisions = self.decisions
+        self.tracer.bind_registry(self.registry)
+        self._register_system_gauges(system)
+        return self
+
+    def _register_system_gauges(self, system) -> None:
+        gauge = self.registry.gauge
+        engine = system.engine
+        gauge("engine.ticks", "ticks stepped so far").set_function(
+            lambda: engine.clock.step_index
+        )
+        gauge("engine.sim_seconds", "simulated seconds").set_function(lambda: engine.clock.t)
+
+        source = system.source
+        gauge("solar.available_w", "PV-bus budget").set_function(
+            lambda: source.available_power_w
+        )
+
+        bank = system.bank
+        gauge("bank.stored_wh", "energy across all cabinets").set_function(
+            lambda: bank.stored_energy_wh
+        )
+        gauge("bank.mean_soc").set_function(lambda: bank.mean_soc)
+        gauge("bank.mean_voltage").set_function(lambda: bank.mean_voltage)
+        gauge("bank.discharge_ah", "cumulative discharge").set_function(
+            lambda: bank.total_discharge_ah()
+        )
+        for unit in bank:
+            gauge("battery.soc", unit=unit.name).set_function(lambda u=unit: u.soc)
+            gauge("battery.voltage", unit=unit.name).set_function(
+                lambda u=unit: u.terminal_voltage
+            )
+
+        rack = system.rack
+        gauge("rack.demand_w").set_function(lambda: rack.demand_w)
+        gauge("rack.running_vms").set_function(lambda: rack.running_vm_count())
+        gauge("rack.on_off_cycles").set_function(lambda: rack.total_on_off_cycles())
+
+        workload = system.workload
+        gauge("workload.backlog_gb").set_function(lambda: workload.backlog_gb)
+        gauge("workload.processed_gb").set_function(lambda: workload.stats.processed_gb)
+        gauge("workload.crashes").set_function(lambda: workload.stats.crash_count)
+
+        controller = system.controller
+        gauge("controller.vm_target").set_function(lambda: controller.vm_target)
+        gauge("controller.duty").set_function(lambda: getattr(controller, "duty", 1.0))
+        gauge("controller.power_ctrl_times").set_function(lambda: controller.power_ctrl_times)
+        gauge("controller.vm_ctrl_times").set_function(lambda: controller.vm_ctrl_times)
+        gauge("controller.checkpoint_stops").set_function(
+            lambda: getattr(controller, "checkpoint_stops", 0)
+        )
+
+        plc = system.telemetry.plc
+        gauge("plc.scan_count").set_function(lambda: plc.scan_count)
+        gauge("plant.shed_events").set_function(lambda: system.plant.shed_events)
+        gauge("events.emitted").set_function(lambda: len(system.events))
+
+        mppt = getattr(source, "mppt", None)
+        if mppt is not None:
+            gauge("solar.irradiance_wm2").set_function(
+                lambda: getattr(source, "irradiance_wm2", 0.0)
+            )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export(self, out_dir) -> dict[str, Path]:
+        """Write the snapshot files; returns {artifact: path}."""
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "metrics_jsonl": out / "metrics.jsonl",
+            "metrics_prom": out / "metrics.prom",
+            "decisions_jsonl": out / "decisions.jsonl",
+            "spans_folded": out / "spans.folded",
+        }
+        self.registry.write_jsonl(paths["metrics_jsonl"])
+        paths["metrics_prom"].write_text(self.registry.to_prometheus(), encoding="utf-8")
+        self.decisions.write_jsonl(paths["decisions_jsonl"])
+        paths["spans_folded"].write_text(self.tracer.to_folded(), encoding="utf-8")
+        return paths

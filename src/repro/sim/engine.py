@@ -10,6 +10,12 @@ and stop conditions are pre-bound into flat lists once per run, the clock is
 advanced inline, and the loop is specialised for the common case of no stop
 conditions.  A day-long full-system run executes ~17k ticks, so shaving the
 per-tick dispatch overhead is a first-order win for every experiment.
+
+When a span tracer is attached (``engine.tracer``, see
+:mod:`repro.obs.spans`) the run switches to an instrumented kernel that
+attributes wall time to each component on sampled ticks.  The tracer only
+*observes* — with it attached or not, same-seed runs take the identical
+sequence of component steps and produce bit-identical traces.
 """
 
 from __future__ import annotations
@@ -51,6 +57,9 @@ class Engine:
             )
         self.clock = Clock(dt=dt, start_hour=start_hour)
         self.stop_check_stride = int(stop_check_stride)
+        #: Optional span tracer (duck-typed, see repro.obs.spans).  None
+        #: keeps the untraced fast path.
+        self.tracer = None
         self._components: list[Component] = []
         self._by_name: dict[str, Component] = {}
         self._observers: list[Callable[[Clock], None]] = []
@@ -133,6 +142,9 @@ class Engine:
 
     def _run_kernel(self, steps: int) -> None:
         """The chunked tick loop: pre-bound dispatch, inline clock advance."""
+        if self.tracer is not None:
+            self._run_kernel_traced(steps)
+            return
         clock = self.clock
         dt = clock.dt
         step_fns = [component.step for component in self._components]
@@ -174,3 +186,50 @@ class Engine:
                     break
             if stop:
                 break
+
+    def _run_kernel_traced(self, steps: int) -> None:
+        """Instrumented tick loop: per-component spans on sampled ticks.
+
+        Mirrors ``_run_kernel`` exactly — same step order, same chunked
+        stop-condition cadence — but routes each tick through the tracer.
+        On unsampled ticks the only extra work is one ``begin_tick`` call.
+        """
+        clock = self.clock
+        dt = clock.dt
+        tracer = self.tracer
+        pairs = [(component.name, component.step) for component in self._components]
+        observers = list(self._observers)
+        conditions = list(self._stop_conditions)
+        stride = self.stop_check_stride
+        index = clock.step_index
+
+        remaining = steps
+        while remaining > 0:
+            ticks = min(stride, remaining) if conditions else remaining
+            for _ in range(ticks):
+                if tracer.begin_tick(index, clock.t):
+                    for name, step_fn in pairs:
+                        with tracer.span(name):
+                            step_fn(clock)
+                    if observers:
+                        with tracer.span("observers"):
+                            for observer in observers:
+                                observer(clock)
+                    tracer.end_tick()
+                else:
+                    for _, step_fn in pairs:
+                        step_fn(clock)
+                    for observer in observers:
+                        observer(clock)
+                index += 1
+                clock.step_index = index
+                clock.t = index * dt
+            remaining -= ticks
+            if conditions:
+                stop = False
+                for condition in conditions:
+                    if condition(clock):
+                        stop = True
+                        break
+                if stop:
+                    break

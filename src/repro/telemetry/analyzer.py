@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
 from repro.telemetry.metrics import RunSummary
 
 
@@ -47,6 +51,49 @@ def system_metrics(summary: RunSummary) -> dict[str, float]:
         "service_life_days": summary.projected_life_days,
         "perf_per_ah": summary.perf_per_ah_gb,
     }
+
+
+def join_decisions(
+    recorder,
+    decisions: Iterable,
+    channels: Sequence[str] | None = None,
+) -> list[dict[str, Any]]:
+    """Join decision events against the recorded trace channels.
+
+    For every decision (a :class:`repro.obs.decisions.Decision` or any
+    object with ``t``/``kind``/``source``/``data``), the nearest trace
+    sample at or before the decision time is attached, giving the plant
+    state the controller acted on.  Decisions before the first sample
+    carry no channel values.
+
+    Parameters
+    ----------
+    recorder:
+        A :class:`~repro.sim.trace.TraceRecorder` (or its channel dict).
+    decisions:
+        Decision events, e.g. an ``Observability.decisions`` log or one
+        reloaded via :meth:`repro.obs.decisions.DecisionLog.from_jsonl`.
+    channels:
+        Restrict the joined channels (default: all recorded channels).
+    """
+    t = recorder["t"]
+    names = tuple(channels) if channels is not None else recorder.names
+    rows: list[dict[str, Any]] = []
+    for decision in decisions:
+        row: dict[str, Any] = {
+            "t": decision.t,
+            "kind": decision.kind,
+            "source": decision.source,
+        }
+        for key, value in decision.data.items():
+            row[f"data.{key}"] = value
+        index = int(np.searchsorted(t, decision.t, side="right")) - 1
+        if index >= 0:
+            row["trace_t"] = float(t[index])
+            for name in names:
+                row[f"trace.{name}"] = float(recorder[name][index])
+        rows.append(row)
+    return rows
 
 
 def all_improvements(opt: RunSummary, base: RunSummary) -> dict[str, float]:

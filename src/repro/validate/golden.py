@@ -112,6 +112,7 @@ def compute_cell(
     weather: str,
     check_invariants: bool = True,
     stride: int = CHECK_STRIDE,
+    duration_s: float = DURATION_S,
 ) -> dict[str, Any]:
     """Run one golden cell and return its comparable record.
 
@@ -130,7 +131,7 @@ def compute_cell(
         initial_soc=INITIAL_SOC, dt=DT_SECONDS,
         invariants=check_invariants, invariant_stride=stride,
     )
-    summary = system.run(DURATION_S)
+    summary = system.run(duration_s)
     record: dict[str, Any] = {
         "cell": cell_name(controller, workload, weather),
         "config": {
@@ -141,7 +142,7 @@ def compute_cell(
             "target_mean_w": TARGET_MEAN_W,
             "initial_soc": INITIAL_SOC,
             "dt": DT_SECONDS,
-            "duration_s": DURATION_S,
+            "duration_s": duration_s,
         },
         "signals": trace_digests(system.recorder),
         "summary": summary_fingerprint(summary),
@@ -256,6 +257,27 @@ def check_matrix(
                          + "; ".join(fresh["invariants"]["first_violations"][:3]))
         report[name] = diffs
     return report
+
+
+def invariant_sweep(
+    duration_s: float = DURATION_S,
+    cells: Sequence[Mapping[str, str]] | None = None,
+    max_workers: int | None = None,
+    stride: int = CHECK_STRIDE,
+) -> dict[str, dict[str, Any]]:
+    """Run the matrix at an arbitrary horizon under the invariant checker.
+
+    Unlike :func:`check_matrix` this compares against *physics*, not
+    pinned digests, so the horizon is free — the nightly CI job runs a
+    36-hour sweep to exercise multi-day battery behaviour the 24-hour
+    goldens cannot reach.  Returns each cell's invariant verdict.
+    """
+    sweep_cells = [
+        dict(cell, duration_s=float(duration_s), stride=stride)
+        for cell in (list(cells) if cells is not None else matrix_cells())
+    ]
+    records = run_cells(compute_cell, sweep_cells, max_workers=max_workers)
+    return {record["cell"]: record["invariants"] for record in records}
 
 
 def refresh_matrix(

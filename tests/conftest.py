@@ -1,0 +1,18 @@
+"""Shared test configuration: Hypothesis settings profiles.
+
+The default profile keeps the tier-1 suite fast; the ``nightly`` profile
+(selected via ``HYPOTHESIS_PROFILE=nightly``, used by the scheduled CI
+workflow) spends ~10x the example budget with no per-example deadline so
+the property suites dig deeper than a PR run can afford.  Pair it with
+``--hypothesis-seed=0`` for reproducible nightly failures.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("default", settings())
+settings.register_profile("nightly", max_examples=400, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

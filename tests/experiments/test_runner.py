@@ -1,6 +1,9 @@
 """Parallel fan-out: deterministic seeding, ordering, serial fallback."""
 
+import pytest
+
 from repro.experiments.runner import default_workers, derive_seed, run_cells
+from repro.obs.registry import global_registry, reset_global_registry
 
 
 def _affine(x, scale=1, offset=0):
@@ -78,11 +81,48 @@ class TestRunCells:
 
     def test_unpicklable_fn_degrades_to_serial(self):
         # A lambda cannot cross the process boundary; results must still
-        # come back, computed in-process.
-        out = run_cells(lambda x: x + 1, [dict(x=i) for i in range(4)],
-                        max_workers=2)
+        # come back, computed in-process (with the degradation warning).
+        with pytest.warns(RuntimeWarning, match="running serially"):
+            out = run_cells(lambda x: x + 1, [dict(x=i) for i in range(4)],
+                            max_workers=2)
         assert out == [1, 2, 3, 4]
 
     def test_env_worker_count_honoured(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "1")
         assert run_cells(_affine, self.CELLS) == self.EXPECTED
+
+
+class _BrokenPool:
+    """ProcessPoolExecutor stand-in for platforms that cannot spawn one."""
+
+    def __init__(self, *args, **kwargs):
+        raise OSError("no process support in this environment")
+
+
+class TestPoolFallback:
+    CELLS = [dict(x=i, scale=2) for i in range(5)]
+    EXPECTED = [i * 2 for i in range(5)]
+
+    def test_unavailable_pool_warns_and_runs_serially(self, monkeypatch):
+        monkeypatch.setattr("concurrent.futures.ProcessPoolExecutor",
+                            _BrokenPool)
+        with pytest.warns(RuntimeWarning, match="running serially"):
+            out = run_cells(_affine, self.CELLS, max_workers=4)
+        assert out == self.EXPECTED
+
+    def test_fallback_is_counted_in_the_global_registry(self, monkeypatch):
+        reset_global_registry()
+        monkeypatch.setattr("concurrent.futures.ProcessPoolExecutor",
+                            _BrokenPool)
+        with pytest.warns(RuntimeWarning):
+            run_cells(_affine, self.CELLS, max_workers=2)
+        counter = global_registry().get("runner.pool_fallbacks_total")
+        assert counter is not None and counter.value == 1
+
+    def test_serial_path_rolls_up_cell_metrics(self):
+        reset_global_registry()
+        run_cells(_affine, self.CELLS, max_workers=1)
+        registry = global_registry()
+        assert registry.get("runner.cells_total").value == len(self.CELLS)
+        histogram = registry.get("runner.cell_seconds")
+        assert histogram is not None and histogram.count == len(self.CELLS)

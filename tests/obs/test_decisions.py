@@ -1,0 +1,80 @@
+"""Decision log: recording, JSONL round trip, trace joining."""
+
+import numpy as np
+
+from repro.obs.decisions import NULL_DECISIONS, DecisionLog
+from repro.obs.registry import MetricsRegistry
+from repro.telemetry.analyzer import join_decisions
+
+
+def test_null_log_is_inert():
+    assert NULL_DECISIONS.enabled is False
+    assert NULL_DECISIONS.record(0.0, "buffer.mode", "b1", x=1) is None
+
+
+def test_record_and_counts():
+    log = DecisionLog()
+    log.record(10.0, "buffer.mode", "b1", from_mode="standby", to_mode="discharge")
+    log.record(20.0, "buffer.mode", "b2", from_mode="charge", to_mode="standby")
+    log.record(30.0, "vm.target", "insure", vms=4)
+    assert len(log) == 3
+    assert log.counts() == {"buffer.mode": 2, "vm.target": 1}
+
+
+def test_of_kind_prefix_matching():
+    log = DecisionLog()
+    log.record(1.0, "buffer.mode", "b1")
+    log.record(2.0, "buffer.trip", "b1")
+    log.record(3.0, "vm.target", "c")
+    assert len(log.of_kind("buffer")) == 2
+    assert len(log.of_kind("buffer.mode")) == 1
+    assert len(log.of_kind("vm")) == 1
+
+
+def test_registry_counter_increment():
+    registry = MetricsRegistry()
+    log = DecisionLog(registry=registry)
+    log.record(0.0, "dvfs.duty", "insure", to_duty=0.8)
+    log.record(1.0, "dvfs.duty", "insure", to_duty=0.6)
+    counter = registry.get("decisions_total", kind="dvfs.duty")
+    assert counter is not None and counter.value == 2
+
+
+def test_jsonl_round_trip(tmp_path):
+    log = DecisionLog()
+    log.record(5.0, "load.restart", "insure", vms=3)
+    log.record(9.5, "power.shed", "plant", unserved_w=120.5, demand_w=700.0)
+    path = log.write_jsonl(tmp_path / "decisions.jsonl")
+    loaded = DecisionLog.from_jsonl(path)
+    assert len(loaded) == 2
+    original = list(log)
+    reloaded = list(loaded)
+    for a, b in zip(original, reloaded):
+        assert (a.t, a.kind, a.source, a.data) == (b.t, b.kind, b.source, b.data)
+
+
+class _StubRecorder:
+    """Minimal TraceRecorder look-alike for the join."""
+
+    def __init__(self):
+        self._data = {
+            "t": np.array([0.0, 60.0, 120.0]),
+            "demand_w": np.array([100.0, 200.0, 300.0]),
+        }
+        self.names = ("demand_w",)
+
+    def __getitem__(self, name):
+        return self._data[name]
+
+
+def test_join_decisions_attaches_nearest_prior_sample():
+    log = DecisionLog()
+    log.record(65.0, "vm.target", "insure", vms=2)
+    log.record(-1.0, "buffer.mode", "b1")  # before the first sample
+    rows = join_decisions(_StubRecorder(), log)
+    by_kind = {row["kind"]: row for row in rows}
+    joined = by_kind["vm.target"]
+    assert joined["trace_t"] == 60.0
+    assert joined["trace.demand_w"] == 200.0
+    assert joined["data.vms"] == 2
+    assert "trace_t" not in by_kind["buffer.mode"]

@@ -1,0 +1,112 @@
+"""Observability on a full system: read-only guarantee and wiring.
+
+The central contract: attaching the metrics registry, span tracer and
+decision log never perturbs the same-seed trajectory.  The short-horizon
+tests prove digest equality directly; the golden-marked test runs a full
+day with observability ON against the pinned digests (which were produced
+with observability OFF).
+"""
+
+import pytest
+
+from repro.core.system import build_system
+from repro.obs.hub import Observability
+from repro.solar.traces import make_day_trace
+from repro.validate import golden
+from repro.workloads import SeismicAnalysis, VideoSurveillance
+
+SHORT_S = 2 * 3600.0
+
+
+def _run(controller, workload_cls, obs, weather="cloudy", seed=11):
+    trace = make_day_trace(weather, dt_seconds=5.0, seed=seed, target_mean_w=850.0)
+    system = build_system(trace, workload_cls(), controller=controller,
+                          seed=seed, initial_soc=0.55, dt=5.0,
+                          observability=obs)
+    summary = system.run(SHORT_S)
+    return system, summary
+
+
+@pytest.mark.parametrize("controller,workload_cls", [
+    ("insure", SeismicAnalysis),
+    ("baseline", VideoSurveillance),
+])
+def test_traces_bit_identical_with_observability(controller, workload_cls):
+    plain, plain_summary = _run(controller, workload_cls, obs=None)
+    observed, observed_summary = _run(controller, workload_cls, obs=True)
+    assert golden.trace_digests(plain.recorder) == \
+        golden.trace_digests(observed.recorder)
+    assert vars(plain_summary) == vars(observed_summary)
+
+
+def test_attach_wires_all_three_instruments():
+    obs = Observability(trace_stride=8)
+    system, _ = _run("insure", SeismicAnalysis, obs=obs)
+    assert system.obs is obs
+    assert system.engine.tracer is obs.tracer
+    assert system.controller.decisions is obs.decisions
+    assert system.plant.decisions is obs.decisions
+
+    # the tracer saw the whole run and sampled 1-in-8 ticks
+    ticks = system.engine.clock.step_index
+    assert obs.tracer.ticks_seen == ticks
+    assert obs.tracer.sampled_ticks == ticks // 8 + (1 if ticks % 8 else 0)
+    spans = {row["span"] for row in obs.tracer.report_rows()}
+    assert {"insure", "plant", "rack", "solar", "metrics",
+            "controller.sense"} <= spans
+
+    # controllers routed decisions through the log
+    assert len(obs.decisions) > 0
+    assert obs.decisions.of_kind("buffer.mode")
+
+    # collection-time gauges read live component state
+    samples = {s["name"]: s for s in obs.registry.collect()}
+    assert samples["engine.ticks"]["value"] == ticks
+    assert samples["bank.stored_wh"]["value"] > 0
+    assert 0.0 <= samples["bank.mean_soc"]["value"] <= 1.0
+
+
+def test_decision_log_matches_mode_transitions():
+    obs = Observability()
+    system, _ = _run("insure", SeismicAnalysis, obs=obs)
+    recorded = obs.decisions.of_kind("buffer.mode")
+    assert len(recorded) == len(system.controller.mode_transitions)
+    for decision, change in zip(recorded, system.controller.mode_transitions):
+        assert decision.source == change.battery
+        assert decision.data["from_mode"] == change.from_mode.value
+        assert decision.data["to_mode"] == change.to_mode.value
+        assert decision.data["reason"] == change.reason
+
+
+def test_export_writes_all_artifacts(tmp_path):
+    obs = Observability()
+    _run("insure", SeismicAnalysis, obs=obs)
+    paths = obs.export(tmp_path)
+    assert set(paths) == {"metrics_jsonl", "metrics_prom",
+                          "decisions_jsonl", "spans_folded"}
+    for path in paths.values():
+        assert path.is_file() and path.stat().st_size > 0
+
+
+@pytest.mark.golden
+@pytest.mark.parametrize("cell", [
+    {"controller": "insure", "workload": "seismic", "weather": "cloudy"},
+    {"controller": "baseline", "workload": "video", "weather": "sunny"},
+])
+def test_golden_digests_hold_with_observability_on(cell):
+    """Full-day obs-ON run vs pinned digests produced with obs OFF."""
+    seed = golden.derive_seed(golden.BASE_SEED, cell["controller"],
+                              cell["workload"], cell["weather"])
+    trace = make_day_trace(cell["weather"], dt_seconds=golden.DT_SECONDS,
+                           seed=seed, target_mean_w=golden.TARGET_MEAN_W)
+    workload_cls = SeismicAnalysis if cell["workload"] == "seismic" \
+        else VideoSurveillance
+    system = build_system(trace, workload_cls(),
+                          controller=cell["controller"], seed=seed,
+                          initial_soc=golden.INITIAL_SOC,
+                          dt=golden.DT_SECONDS, observability=True)
+    system.run(golden.DURATION_S)
+    stored = golden.load_record(
+        golden.cell_name(cell["controller"], cell["workload"],
+                         cell["weather"]))
+    assert golden.trace_digests(system.recorder) == stored["signals"]

@@ -1,0 +1,153 @@
+"""Metrics registry semantics: counters, gauges, histograms, export."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    reset_global_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("ops")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        c = Counter("ops")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        g = Gauge("depth")
+        g.set(4.2)
+        assert g.value == 4.2
+
+    def test_function_binding_reads_at_collection_time(self):
+        state = {"x": 1.0}
+        g = Gauge("live")
+        g.set_function(lambda: state["x"])
+        assert g.value == 1.0
+        state["x"] = 7.0
+        assert g.value == 7.0
+        # an explicit set unbinds the callable
+        g.set(0.5)
+        state["x"] = 99.0
+        assert g.value == 0.5
+
+
+class TestHistogram:
+    def test_observe_counts_and_moments(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0, 10.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(16.5)
+        assert h.mean == pytest.approx(3.3)
+
+    def test_cumulative_counts_end_with_inf_total(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 5.0):
+            h.observe(v)
+        pairs = h.cumulative_counts()
+        assert pairs[-1] == (math.inf, 3)
+        assert pairs[0] == (1.0, 1)
+        assert pairs[1] == (2.0, 2)
+
+    def test_quantiles_bracket_the_data(self):
+        h = Histogram("lat", buckets=(0.1, 0.2, 0.4, 0.8))
+        for _ in range(100):
+            h.observe(0.15)
+        assert 0.1 <= h.quantile(0.5) <= 0.2
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0)
+
+    def test_quantile_clamps_to_max_beyond_last_bound(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(50.0)
+        assert h.quantile(0.99) == 50.0
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        h = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        h = Histogram("h", buckets=(1.0,))
+        assert h.quantile(0.5) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", "help")
+        b = reg.counter("x")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("soc", unit="b1")
+        b = reg.gauge("soc", unit="b2")
+        assert a is not b
+        assert reg.get("soc", unit="b1") is a
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_jsonl_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(3)
+        reg.gauge("depth", unit="b1").set(0.5)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.2)
+        samples = [json.loads(line) for line in reg.to_jsonl().splitlines()]
+        by_name = {s["name"]: s for s in samples}
+        assert by_name["ops"]["value"] == 3
+        assert by_name["depth"]["labels"] == {"unit": "b1"}
+        assert by_name["lat"]["count"] == 1
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("runner.cells_total", "cells run").inc(2)
+        reg.gauge("bank.soc", unit="b1").set(0.4)
+        reg.histogram("tick_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        text = reg.to_prometheus()
+        assert "# HELP runner_cells_total cells run" in text
+        assert "# TYPE runner_cells_total counter" in text
+        assert "runner_cells_total 2.0" in text
+        assert 'bank_soc{unit="b1"} 0.4' in text
+        assert 'tick_seconds_bucket{le="0.1"} 1' in text
+        assert 'tick_seconds_bucket{le="+Inf"} 1' in text
+        assert "tick_seconds_count 1" in text
+
+    def test_collect_is_name_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zzz")
+        reg.counter("aaa")
+        names = [s["name"] for s in reg.collect()]
+        assert names == sorted(names)
+
+    def test_reset_global_registry(self):
+        first = global_registry()
+        first.counter("probe").inc()
+        fresh = reset_global_registry()
+        assert fresh is global_registry()
+        assert fresh.get("probe") is None

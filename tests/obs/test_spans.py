@@ -1,0 +1,130 @@
+"""Span tracer: nesting/self-time attribution, stride sampling, null path."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import NULL_TRACER, SpanTracer
+
+
+class FakeClock:
+    """Deterministic timer: each call advances by the scripted increments."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.begin_tick(0, 0.0) is False
+    assert NULL_TRACER.sampling is False
+    with NULL_TRACER.span("anything"):
+        pass  # no state, no error
+
+
+def test_stride_sampling():
+    tracer = SpanTracer(stride=4)
+    sampled = []
+    for index in range(12):
+        if tracer.begin_tick(index, float(index)):
+            sampled.append(index)
+            tracer.end_tick()
+    assert sampled == [0, 4, 8]
+    assert tracer.ticks_seen == 12
+    assert tracer.sampled_ticks == 3
+
+
+def test_span_outside_sampled_tick_is_noop():
+    tracer = SpanTracer(stride=2)
+    assert tracer.begin_tick(1, 0.0) is False  # unsampled tick
+    with tracer.span("work"):
+        pass
+    assert tracer.stats == {}
+
+
+def test_nested_self_time_attribution():
+    # Scripted timer ticks 1s per call.  Parent wraps one child; the
+    # child's elapsed time must be subtracted from the parent's self time.
+    clock = FakeClock(step=1.0)
+    tracer = SpanTracer(stride=1, timer=clock)
+    assert tracer.begin_tick(0, 0.0)
+    with tracer.span("parent"):
+        with tracer.span("child"):
+            pass
+    tracer.end_tick()
+
+    parent = tracer.stats["parent"]
+    child = tracer.stats["child"]
+    # child: enter at t1, exit reads t2 -> elapsed 1; all self time.
+    assert child.total_s == pytest.approx(1.0)
+    assert child.self_s == pytest.approx(1.0)
+    # parent: enter at t0, exit reads t3 -> elapsed 3, minus child 1 -> 2.
+    assert parent.total_s == pytest.approx(3.0)
+    assert parent.self_s == pytest.approx(2.0)
+    assert parent.count == child.count == 1
+
+
+def test_report_rows_sorted_by_self_time_with_shares():
+    clock = FakeClock(step=1.0)
+    tracer = SpanTracer(stride=1, timer=clock)
+    tracer.begin_tick(0, 0.0)
+    with tracer.span("slow"):
+        with tracer.span("fast"):
+            pass
+    tracer.end_tick()
+    rows = tracer.report_rows()
+    assert [row["span"] for row in rows] == ["slow", "fast"]
+    assert sum(row["share"] for row in rows) == pytest.approx(1.0)
+
+
+def test_hottest_ticks_keep_the_slowest():
+    clock = FakeClock(step=0.0)
+    tracer = SpanTracer(stride=1, hot_ticks=2, timer=clock)
+    for index, cost in enumerate((1.0, 5.0, 3.0, 0.5)):
+        clock.step = 0.0
+        tracer.begin_tick(index, float(index) * 10)
+        clock.step = cost  # every timer call inside this tick costs `cost`
+        with tracer.span("work"):
+            pass
+        clock.step = 0.0
+        tracer.end_tick()
+    hottest = tracer.hottest()
+    assert [entry["tick"] for entry in hottest] == [1, 2]
+    assert hottest[0]["wall_us"] >= hottest[1]["wall_us"]
+    assert "work" in hottest[0]["breakdown"]
+
+
+def test_to_folded_is_flamegraph_compatible():
+    clock = FakeClock(step=1.0)
+    tracer = SpanTracer(stride=1, timer=clock)
+    tracer.begin_tick(0, 0.0)
+    with tracer.span("alpha"):
+        pass
+    tracer.end_tick()
+    lines = tracer.to_folded().strip().splitlines()
+    assert len(lines) == 1
+    stack, weight = lines[0].rsplit(" ", 1)
+    assert stack == "tick;alpha"
+    assert int(weight) >= 1
+
+
+def test_bind_registry_exposes_aggregates():
+    tracer = SpanTracer(stride=1)
+    registry = MetricsRegistry()
+    tracer.bind_registry(registry, prefix="engine")
+    tracer.begin_tick(0, 0.0)
+    tracer.end_tick()
+    samples = {s["name"]: s["value"] for s in registry.collect()}
+    assert samples["engine.ticks_seen"] == 1
+    assert samples["engine.sampled_ticks"] == 1
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        SpanTracer(stride=0)
+    with pytest.raises(ValueError):
+        SpanTracer(hot_ticks=-1)

@@ -28,6 +28,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["plan"])
 
+    def test_profile_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile"])
+
+    def test_profile_run_defaults(self):
+        args = build_parser().parse_args(["profile", "run"])
+        assert args.controller == "insure"
+        assert args.stride == 16
+        assert args.out is None and args.cprofile is None
+
+    def test_validate_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["validate", "--sweep-hours", "36", "--report", "out.json"])
+        assert args.sweep_hours == 36.0
+        assert args.report == "out.json"
+
 
 class TestCommands:
     def test_table7(self, capsys):
@@ -63,6 +79,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "[insure]" in out and "[baseline]" in out
         assert "improvement" in out
+
+
+class TestProfileCommand:
+    def test_profile_run_prints_breakdown_and_writes_artifacts(
+            self, tmp_path, capsys):
+        out_dir = tmp_path / "prof"
+        code = main([
+            "profile", "run", "--workload", "seismic", "--solar", "sunny",
+            "--mean-w", "900", "--seed", "3", "--duration-h", "0.5",
+            "--stride", "4", "--out", str(out_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-component time breakdown" in out
+        assert "hottest sampled ticks" in out
+        assert "decision events" in out
+        for artifact in ("metrics.jsonl", "metrics.prom", "decisions.jsonl",
+                         "spans.folded", "breakdown.txt"):
+            assert (out_dir / artifact).is_file()
+
+
+class TestValidateSweep:
+    def test_sweep_single_cell_clean(self, tmp_path, capsys):
+        report = tmp_path / "sweep.json"
+        code = main([
+            "validate", "--sweep-hours", "0.5",
+            "--cell", "insure:video:sunny", "--jobs", "1",
+            "--report", str(report),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "invariant sweep" in out and "all cells clean" in out
+        assert report.is_file()
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["sweep_hours"] == 0.5
+        assert "insure-video-sunny" in payload["cells"]
+
+    def test_sweep_rejects_nonpositive_hours(self):
+        with pytest.raises(SystemExit):
+            main(["validate", "--sweep-hours", "0"])
 
 
 class TestArtifactFlags:
