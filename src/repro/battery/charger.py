@@ -22,6 +22,9 @@ class ChargeResult:
     power_used_w: float
     power_offered_w: float
     accepted_ah: float
+    #: Power delivered at the battery terminals — ``power_used_w`` minus
+    #: conversion loss and per-string overhead.
+    terminal_power_w: float = 0.0
 
     @property
     def utilisation(self) -> float:
@@ -127,6 +130,7 @@ class SolarCharger:
                     next_active.append(entry)
             active = next_active
 
+        terminal = 0.0
         for unit, voltage, _ceiling, watts in plan:
             applied = watts / voltage
             if applied <= 0.0:
@@ -134,12 +138,14 @@ class SolarCharger:
                 continue
             stored = unit.apply_charge(applied, dt_seconds)
             used += watts
+            terminal += watts
             accepted_ah += stored * dt_seconds / 3600.0
 
         return ChargeResult(
             power_used_w=used / self.efficiency,
             power_offered_w=power_budget_w,
             accepted_ah=accepted_ah,
+            terminal_power_w=terminal,
         )
 
     def float_step(self, units: list[BatteryUnit], dt_seconds: float) -> float:

@@ -53,6 +53,12 @@ class BatteryUnit:
         self.mode = BatteryMode.STANDBY
         #: Signed current applied in the most recent step (+ = discharge).
         self.last_current = 0.0
+        #: Cumulative loss bookkeeping read by the obs energy ledger.
+        #: Ah leaked to self-discharge while resting.
+        self.self_discharge_ah = 0.0
+        #: Ah applied at the terminals that never reached the wells
+        #: (acceptance taper, gassing, parasitic draw).
+        self.gassing_ah = 0.0
         #: Memo for :attr:`terminal_voltage` — the bus, the sensing chain
         #: and the metrics collector all read it against the same state
         #: within one tick.  Keyed by (y1, last_current), its only inputs.
@@ -145,11 +151,13 @@ class BatteryUnit:
         if effective <= 0.0:
             self.idle(dt_seconds)
             self.last_current = -min(amps, self.params.acceptance.parasitic_amps)
+            self.gassing_ah += amps * dt_seconds / 3600.0
             return 0.0
         moved_ah = self.kibam.apply_current(-effective, dt_seconds)
         stored = -moved_ah * 3600.0 / dt_seconds  # positive amps actually stored
         self.wear.record(-stored, self.soc, dt_seconds)
         self.last_current = -stored
+        self.gassing_ah += (amps - stored) * dt_seconds / 3600.0
         return stored
 
     def idle(self, dt_seconds: float) -> None:
@@ -163,6 +171,7 @@ class BatteryUnit:
         leak_amps = leak_ah * 3600.0 / dt_seconds
         self.kibam.apply_current(leak_amps, dt_seconds)
         self.last_current = 0.0
+        self.self_discharge_ah += leak_ah
 
     # ------------------------------------------------------------------
     # Mode handling

@@ -13,6 +13,7 @@ Run reproduction experiments without writing code::
     python -m repro validate --refresh
     python -m repro validate --sweep-hours 36 --report sweep.json
     python -m repro profile run --workload seismic --solar sunny --out prof/
+    python -m repro report run --workload video --compare baseline --out flight/
 """
 
 from __future__ import annotations
@@ -305,6 +306,39 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.telemetry.flight import (
+        render_markdown,
+        run_flight,
+        write_flight_report,
+    )
+
+    duration_s = args.duration_h * 3600.0 if args.duration_h else None
+    report = run_flight(
+        controller=args.controller,
+        workload=args.workload,
+        weather=args.solar,
+        mean_w=args.mean_w,
+        seed=args.seed,
+        initial_soc=args.initial_soc,
+        duration_s=duration_s,
+        stride=args.stride,
+        compare=args.compare,
+    )
+    markdown = render_markdown(report)
+    if args.out:
+        paths = write_flight_report(report, args.out, with_html=args.html)
+        for label, path in sorted(paths.items()):
+            print(f"{label:16s} {path}")
+    else:
+        print(markdown)
+    closure = report.obs.ledger.closure()
+    if not closure.ok:
+        print(f"\nWARNING: {closure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.cost.scaleout import cloud_cost, insitu_cost, pods_required
 
@@ -412,6 +446,34 @@ def build_parser() -> argparse.ArgumentParser:
     profile_run_p.add_argument("--cprofile", default=None, metavar="PATH",
                                help="also write cProfile stats to PATH")
     profile_run_p.set_defaults(func=_cmd_profile)
+
+    report = sub.add_parser(
+        "report",
+        help="file a unified flight report (summary, ledger, alerts, spans)",
+    )
+    report_sub = report.add_subparsers(dest="report_command", required=True)
+    report_run_p = report_sub.add_parser(
+        "run", help="fly one instrumented day and render the flight report"
+    )
+    report_run_p.add_argument("--controller", default="insure",
+                              choices=("insure", "baseline"))
+    add_run_options(report_run_p)
+    report_run_p.add_argument("--duration-h", type=float, default=None,
+                              help="horizon in hours (default: full trace)")
+    report_run_p.add_argument("--stride", type=int, default=16,
+                              help="trace every Nth tick (default 16)")
+    report_run_p.add_argument("--compare", default=None, metavar="CONTROLLER",
+                              choices=("insure", "baseline"),
+                              help="also fly this controller on the same "
+                                   "seed/trace and include the comparison")
+    report_run_p.add_argument("--out", default=None, metavar="DIR",
+                              help="write flight_report.md plus the raw "
+                                   "observability artifacts into DIR "
+                                   "(default: print the Markdown)")
+    report_run_p.add_argument("--html", action="store_true",
+                              help="also render flight_report.html (with "
+                                   "--out)")
+    report_run_p.set_defaults(func=_cmd_report)
 
     plan = sub.add_parser("plan", help="in-situ vs cloud deployment economics")
     plan.add_argument("--gb-per-day", type=float, required=True)

@@ -62,6 +62,12 @@ class BaselineController(PowerManager):
         self.vm_target = 0
         self.checkpoint_stops = 0
 
+    @property
+    def discharge_cap_amps(self) -> None:
+        """The unified buffer never caps discharge current (paper §2.3) —
+        the near-miss alert rule is inert for this controller."""
+        return None
+
     def _retarget(self, target: int, t: float) -> None:
         """Apply a VM target with damped upscaling."""
         if target > self.vm_target:

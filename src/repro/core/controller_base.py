@@ -148,6 +148,18 @@ class PowerManager(Component):
         return max(0, min(preferred, int(supportable // self.per_vm_w)))
 
     # ------------------------------------------------------------------
+    # Observables surfaced to the alert engine
+    # ------------------------------------------------------------------
+    @property
+    def discharge_cap_amps(self) -> float | None:
+        """Total discharge-current cap this controller enforces, if any.
+
+        Read-only: the alert engine compares the observed bank discharge
+        against it (near-miss rule).  ``None`` means uncapped.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # Counters surfaced to the log analysis (Table 6 columns)
     # ------------------------------------------------------------------
     @property

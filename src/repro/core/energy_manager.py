@@ -77,6 +77,15 @@ class InsureController(PowerManager):
         self.vm_target = 0
         self.checkpoint_stops = 0
 
+    @property
+    def discharge_cap_amps(self) -> float | None:
+        """The TPM's safe total discharge current for the online cabinets
+        (Figure 11's current cap; ``None`` while nothing is online)."""
+        online = len(self.online_units())
+        if online == 0:
+            return None
+        return self.temporal.cap_amps(online)
+
     # ------------------------------------------------------------------
     # Component lifecycle
     # ------------------------------------------------------------------

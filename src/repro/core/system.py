@@ -289,13 +289,13 @@ def build_system(
     engine.add(rack)
     engine.add(plant)
     engine.add(metrics)
-    engine.observe(recorder)
+    engine.observe(recorder, name="recorder")
 
     checker = None
     if invariants:
         checker = InvariantChecker(bank=bank, switchnet=switchnet,
                                    plant=plant, stride=invariant_stride)
-        engine.observe(checker)
+        engine.observe(checker, name="invariants")
 
     system = InSituSystem(
         engine=engine, source=source, bank=bank, switchnet=switchnet,

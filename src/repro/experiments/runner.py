@@ -24,6 +24,7 @@ import time
 import warnings
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.obs.ledger import SIGNED_EDGES
 from repro.obs.registry import global_registry
 
 ENV_WORKERS = "REPRO_WORKERS"
@@ -31,6 +32,11 @@ ENV_WORKERS = "REPRO_WORKERS"
 #: Histogram buckets for cell runtimes (sub-second replays to minutes).
 _CELL_SECONDS_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
                          30.0, 60.0, 120.0, 300.0)
+
+#: Emit the pool-unavailable warning once per process, not once per batch
+#: (a matrix run dispatches many batches; the ``runner.pool_fallbacks_total``
+#: counter still tracks every occurrence).
+_POOL_WARNING_EMITTED = False
 
 
 def derive_seed(base_seed: int, *labels: object, bits: int = 31) -> int:
@@ -67,26 +73,64 @@ def _run_serial(fn: Callable[..., Any], cells: Sequence[Mapping[str, Any]]) -> l
                                       buckets=_CELL_SECONDS_BUCKETS)
     cells_total = registry.counter("runner.cells_total",
                                    "experiment cells executed")
+    failures = registry.counter("runner.cell_failures_total",
+                                "experiment cells that raised")
     results = []
     for cell in cells:
         t0 = time.perf_counter()
-        results.append(fn(**cell))
+        try:
+            results.append(fn(**cell))
+        except Exception:
+            failures.inc()
+            raise
         cell_seconds.observe(time.perf_counter() - t0)
         cells_total.inc()
     return results
 
 
 def _fall_back_to_serial(fn, cells, exc: BaseException) -> list[Any]:
-    """Warn once and degrade to the serial loop (identical results)."""
-    warnings.warn(
-        f"process pool unavailable for {len(cells)} cell(s) "
-        f"({type(exc).__name__}: {exc}); running serially",
-        RuntimeWarning,
-        stacklevel=3,
-    )
+    """Warn (once per process) and degrade to the serial loop."""
+    global _POOL_WARNING_EMITTED
+    if not _POOL_WARNING_EMITTED:
+        _POOL_WARNING_EMITTED = True
+        warnings.warn(
+            f"process pool unavailable for {len(cells)} cell(s) "
+            f"({type(exc).__name__}: {exc}); running serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
     global_registry().counter("runner.pool_fallbacks_total",
                               "times the process pool was unavailable").inc()
     return _run_serial(fn, cells)
+
+
+def _roll_up_obs(results: Sequence[Any]) -> None:
+    """Fold per-cell observability payloads into the global registry.
+
+    Cells that return a mapping with ``ledger_edges`` (edge → Wh) and/or
+    ``alert_counts`` (rule → count) contribute to the fleet totals
+    ``runner.ledger_wh_total{edge=...}`` and ``runner.alerts_total{rule=...}``.
+    Signed balance edges (Δstored, residuals) are accounting checks, not
+    flows, and are excluded — as is any negative value (counters only go up).
+    """
+    registry = global_registry()
+    for result in results:
+        if not isinstance(result, Mapping):
+            continue
+        edges = result.get("ledger_edges")
+        if isinstance(edges, Mapping):
+            for edge, wh in edges.items():
+                if edge not in SIGNED_EDGES and wh > 0.0:
+                    registry.counter("runner.ledger_wh_total",
+                                     "fleet-total energy per flow edge",
+                                     edge=edge).inc(float(wh))
+        alerts = result.get("alert_counts")
+        if isinstance(alerts, Mapping):
+            for rule, count in alerts.items():
+                if count > 0:
+                    registry.counter("runner.alerts_total",
+                                     "fleet-total alerts per rule",
+                                     rule=rule).inc(int(count))
 
 
 def run_cells(
@@ -113,18 +157,24 @@ def run_cells(
     workers = default_workers(len(cells)) if max_workers is None else max_workers
     workers = min(max(1, int(workers)), len(cells))
     if workers <= 1:
-        return _run_serial(fn, cells)
+        results = _run_serial(fn, cells)
+        _roll_up_obs(results)
+        return results
 
     try:
         from concurrent.futures import ProcessPoolExecutor
     except ImportError as exc:  # pragma: no cover - stdlib always has it
-        return _fall_back_to_serial(fn, cells, exc)
+        results = _fall_back_to_serial(fn, cells, exc)
+        _roll_up_obs(results)
+        return results
 
     registry = global_registry()
     try:
         t0 = time.perf_counter()
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(fn, **cell) for cell in cells]
+            # A raising cell lands in the fallback handler below and is
+            # re-run (and failure-counted) by the serial loop.
             results = [future.result() for future in futures]
         registry.histogram("runner.batch_seconds",
                            "wall time per parallel cell batch",
@@ -132,6 +182,7 @@ def run_cells(
             time.perf_counter() - t0)
         registry.counter("runner.cells_total",
                          "experiment cells executed").inc(len(cells))
+        _roll_up_obs(results)
         return results
     except (OSError, ValueError, RuntimeError, NotImplementedError,
             ImportError, AttributeError, pickle.PicklingError) as exc:
@@ -139,4 +190,6 @@ def run_cells(
         # (e.g. a sandboxed /dev/shm breaking multiprocessing locks), or
         # unpicklable work (lambdas, closures) degrade to the serial
         # path, whose results are identical by construction.
-        return _fall_back_to_serial(fn, cells, exc)
+        results = _fall_back_to_serial(fn, cells, exc)
+        _roll_up_obs(results)
+        return results

@@ -32,6 +32,14 @@ KNOWN_KINDS = (
     "load.checkpoint_stop",
     "load.restart",
     "power.shed",
+    # Streaming alert engine (repro.obs.alerts); payload carries
+    # severity, message and per-rule data.
+    "alert.soc_droop",
+    "alert.wear_imbalance",
+    "alert.discharge_cap_near_miss",
+    "alert.lvd_proximity",
+    "alert.checkpoint_storm",
+    "alert.sustained_curtailment",
 )
 
 

@@ -10,7 +10,11 @@ assembled :class:`~repro.core.system.InSituSystem`:
 * gauges for every component's interesting state — battery SoC/voltage,
   rack demand, workload backlog, PLC scan count, controller duty and VM
   target — are registered as *collection-time* callables, so the tick
-  loop pays nothing for them.
+  loop pays nothing for them;
+* an :class:`~repro.obs.ledger.EnergyLedger` snapshots the component
+  energy accumulators at attach time (joule-level flow edges + closure);
+* an :class:`~repro.obs.alerts.AlertEngine` observer streams rule
+  evaluations over live plant state, feeding the decision log.
 
 Everything here only reads simulation state.  Attaching observability to
 a run never changes its same-seed trajectory (proven bit-identical in the
@@ -21,7 +25,9 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.obs.alerts import AlertEngine
 from repro.obs.decisions import DecisionLog
+from repro.obs.ledger import EnergyLedger
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import DEFAULT_STRIDE, SpanTracer
 
@@ -35,6 +41,12 @@ class Observability:
         Pre-built instruments to use; fresh ones are created by default.
     trace_stride:
         Tick sampling stride for the default tracer.
+    ledger:
+        Attach the energy-flow ledger (``False`` skips it).
+    alerts:
+        Attach the streaming alert engine: ``True`` for the default rule
+        set, a pre-built :class:`~repro.obs.alerts.AlertEngine` to
+        customise rules/stride, ``False`` to skip.
     """
 
     def __init__(
@@ -43,10 +55,20 @@ class Observability:
         tracer: SpanTracer | None = None,
         decisions: DecisionLog | None = None,
         trace_stride: int = DEFAULT_STRIDE,
+        ledger: bool = True,
+        alerts: "AlertEngine | bool" = True,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else SpanTracer(stride=trace_stride)
         self.decisions = decisions if decisions is not None else DecisionLog(registry=self.registry)
+        #: Energy ledger; bound to a system by :meth:`attach` (None if off).
+        self.ledger: EnergyLedger | None = EnergyLedger(registry=self.registry) if ledger else None
+        if alerts is True:
+            alerts = AlertEngine(decisions=self.decisions, registry=self.registry)
+        #: Alert engine; registered as an engine observer by :meth:`attach`
+        #: (None if off).  isinstance, not truthiness: an engine with no
+        #: fired alerts has len() == 0 and would read as False.
+        self.alerts: AlertEngine | None = alerts if isinstance(alerts, AlertEngine) else None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -59,6 +81,10 @@ class Observability:
         system.plant.decisions = self.decisions
         self.tracer.bind_registry(self.registry)
         self._register_system_gauges(system)
+        if self.ledger is not None:
+            self.ledger.attach(system)
+        if self.alerts is not None:
+            self.alerts.attach(system)
         return self
 
     def _register_system_gauges(self, system) -> None:
@@ -136,4 +162,9 @@ class Observability:
         paths["metrics_prom"].write_text(self.registry.to_prometheus(), encoding="utf-8")
         self.decisions.write_jsonl(paths["decisions_jsonl"])
         paths["spans_folded"].write_text(self.tracer.to_folded(), encoding="utf-8")
+        if self.ledger is not None and self.ledger.attached:
+            paths["ledger_json"] = out / "ledger.json"
+            paths["ledger_json"].write_text(self.ledger.to_json(), encoding="utf-8")
+        if self.alerts is not None:
+            paths["alerts_jsonl"] = self.alerts.write_jsonl(out / "alerts.jsonl")
         return paths

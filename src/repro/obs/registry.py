@@ -60,10 +60,22 @@ def _prom_name(name: str) -> str:
     return sanitized
 
 
+def _prom_escape_label(value: str) -> str:
+    """Escape a label value per the exposition format: backslash, double
+    quote and line feed (in that order, so the backslashes we add are not
+    re-escaped)."""
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_escape_help(text: str) -> str:
+    """HELP text escaping: backslash and line feed only (quotes are legal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _prom_labels(labels: Mapping[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    inner = ",".join(f'{key}="{_prom_escape_label(labels[key])}"' for key in sorted(labels))
     return "{" + inner + "}"
 
 
@@ -301,15 +313,28 @@ class MetricsRegistry:
         Path(path).write_text(self.to_jsonl(), encoding="utf-8")
 
     def to_prometheus(self) -> str:
-        """The Prometheus text exposition format (version 0.0.4)."""
+        """The Prometheus text exposition format (version 0.0.4).
+
+        ``# HELP`` / ``# TYPE`` appear exactly once per metric family; the
+        help text comes from whichever family member carries one (children
+        created later with ``help=""`` must not suppress it), and label
+        values are escaped per the format.
+        """
+        metrics = self._sorted()
+        family_help: dict[str, str] = {}
+        for metric in metrics:
+            name = _prom_name(metric.name)
+            if metric.help and name not in family_help:
+                family_help[name] = metric.help
         lines: list[str] = []
         seen_headers: set[str] = set()
-        for metric in self._sorted():
+        for metric in metrics:
             name = _prom_name(metric.name)
             if name not in seen_headers:
                 seen_headers.add(name)
-                if metric.help:
-                    lines.append(f"# HELP {name} {metric.help}")
+                help_text = family_help.get(name)
+                if help_text:
+                    lines.append(f"# HELP {name} {_prom_escape_help(help_text)}")
                 lines.append(f"# TYPE {name} {metric.kind}")
             if isinstance(metric, Histogram):
                 for bound, cumulative in metric.cumulative_counts():

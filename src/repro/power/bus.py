@@ -68,6 +68,23 @@ class PowerBus:
         self.switchnet = switchnet
         self.last_report = BusReport(0, 0, 0, 0, 0, 0, 0)
         self._units_by_name = {unit.name: unit for unit in bank}
+        #: Cumulative energy accounting (Wh at the PV bus unless noted).
+        #: Pure bookkeeping read by the obs energy ledger — nothing feeds
+        #: back into the resolution, so same-seed traces are unaffected.
+        self.e_solar_wh = 0.0
+        self.e_solar_to_load_wh = 0.0
+        self.e_battery_to_load_wh = 0.0
+        self.e_unserved_wh = 0.0
+        self.e_charge_bus_wh = 0.0
+        #: Charge energy measured at the battery terminals (after charger
+        #: conversion and per-string overhead; float trickle approximated
+        #: at the charger's conversion efficiency).
+        self.e_charge_terminal_wh = 0.0
+        self.e_curtailed_wh = 0.0
+        #: Bus-side server demand (wall demand through the DC/DC converter).
+        self.e_demand_bus_wh = 0.0
+        #: Wall-side server demand as requested from the bus.
+        self.e_server_wall_wh = 0.0
 
     def _on_load_bus(self) -> list[BatteryUnit]:
         if self.switchnet is None:
@@ -110,9 +127,11 @@ class PowerBus:
         # --- Charge path ----------------------------------------------------
         charging = self._on_charge_bus()
         charge_power = 0.0
+        charge_terminal = 0.0
         if charging:
             result = self.charger.step(charging, surplus, dt_seconds)
             charge_power = result.power_used_w
+            charge_terminal = result.terminal_power_w
             touched.update(charging)
         curtailed = max(0.0, surplus - charge_power)
 
@@ -125,8 +144,20 @@ class PowerBus:
                 take = min(used, curtailed)
                 curtailed -= take
                 charge_power += take
+                charge_terminal += take * self.charger.efficiency
             else:
                 unit.idle(dt_seconds)
+
+        dt_h = dt_seconds / 3600.0
+        self.e_solar_wh += solar_w * dt_h
+        self.e_solar_to_load_wh += solar_to_load * dt_h
+        self.e_battery_to_load_wh += battery_to_load * dt_h
+        self.e_unserved_wh += unserved * dt_h
+        self.e_charge_bus_wh += charge_power * dt_h
+        self.e_charge_terminal_wh += charge_terminal * dt_h
+        self.e_curtailed_wh += curtailed * dt_h
+        self.e_demand_bus_wh += demand_bus * dt_h
+        self.e_server_wall_wh += server_demand_w * dt_h
 
         self.last_report = BusReport(
             demand_w=demand_bus,

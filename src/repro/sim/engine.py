@@ -62,7 +62,7 @@ class Engine:
         self.tracer = None
         self._components: list[Component] = []
         self._by_name: dict[str, Component] = {}
-        self._observers: list[Callable[[Clock], None]] = []
+        self._observers: list[tuple[str, Callable[[Clock], None]]] = []
         self._stop_conditions: list[Callable[[Clock], bool]] = []
         self._started = False
         self._finished = False
@@ -91,9 +91,17 @@ class Engine:
         except KeyError:
             raise SimulationError(f"no component named {name!r}") from None
 
-    def observe(self, callback: Callable[[Clock], None]) -> None:
-        """Register a per-tick observer fired after all components step."""
-        self._observers.append(callback)
+    def observe(self, callback: Callable[[Clock], None],
+                name: str | None = None) -> None:
+        """Register a per-tick observer fired after all components step.
+
+        ``name`` labels the observer's span in the traced kernel (so the
+        profile attributes recorder/checker/alert cost individually);
+        unnamed observers are labelled after their class.
+        """
+        if name is None:
+            name = type(callback).__name__.lower()
+        self._observers.append((f"obs.{name}", callback))
 
     def stop_when(self, condition: Callable[[Clock], bool]) -> None:
         """Register a predicate that ends the run early when it returns True."""
@@ -148,7 +156,7 @@ class Engine:
         clock = self.clock
         dt = clock.dt
         step_fns = [component.step for component in self._components]
-        observers = list(self._observers)
+        observers = [callback for _, callback in self._observers]
         conditions = list(self._stop_conditions)
         stride = self.stop_check_stride
         index = clock.step_index
@@ -198,7 +206,8 @@ class Engine:
         dt = clock.dt
         tracer = self.tracer
         pairs = [(component.name, component.step) for component in self._components]
-        observers = list(self._observers)
+        observer_pairs = list(self._observers)
+        observers = [callback for _, callback in observer_pairs]
         conditions = list(self._stop_conditions)
         stride = self.stop_check_stride
         index = clock.step_index
@@ -211,10 +220,9 @@ class Engine:
                     for name, step_fn in pairs:
                         with tracer.span(name):
                             step_fn(clock)
-                    if observers:
-                        with tracer.span("observers"):
-                            for observer in observers:
-                                observer(clock)
+                    for name, observer in observer_pairs:
+                        with tracer.span(name):
+                            observer(clock)
                     tracer.end_tick()
                 else:
                     for _, step_fn in pairs:

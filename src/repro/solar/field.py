@@ -44,11 +44,17 @@ class SolarField(Component):
         self.day_of_year = day_of_year
         self.irradiance_wm2 = 0.0
         self.available_power_w = 0.0
+        #: Cumulative Wh left on the panel by the P&O tracker hunting
+        #: around the knee (Figure 16 Region B) — read by the obs ledger.
+        self.e_mppt_loss_wh = 0.0
 
     def step(self, clock: Clock) -> None:
         clearness = self.clouds.step(clock.dt)
         self.irradiance_wm2 = clearsky_ghi(clock.hour_of_day, self.day_of_year) * clearness
         self.available_power_w = self.mppt.step(self.irradiance_wm2, clock.dt)
+        ideal_w = self.panel.max_power(self.irradiance_wm2)
+        if ideal_w > self.available_power_w:
+            self.e_mppt_loss_wh += (ideal_w - self.available_power_w) * clock.dt / 3600.0
 
 
 class TracePlayer(Component):

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -66,18 +66,32 @@ def join_decisions(
     state the controller acted on.  Decisions before the first sample
     carry no channel values.
 
+    Robust to the ragged ends of real logs: an empty recorder (or one
+    with no channels yet) yields rows with no ``trace.*`` values, and a
+    decision stamped *after* the final trace sample joins against that
+    final sample — never an index error.
+
     Parameters
     ----------
     recorder:
-        A :class:`~repro.sim.trace.TraceRecorder` (or its channel dict).
+        A :class:`~repro.sim.trace.TraceRecorder`, or a plain mapping of
+        channel name to array (e.g. ``recorder.as_dict()`` or arrays
+        reloaded from CSV); channel names are then the keys minus ``t``.
     decisions:
         Decision events, e.g. an ``Observability.decisions`` log or one
         reloaded via :meth:`repro.obs.decisions.DecisionLog.from_jsonl`.
     channels:
         Restrict the joined channels (default: all recorded channels).
     """
-    t = recorder["t"]
-    names = tuple(channels) if channels is not None else recorder.names
+    if isinstance(recorder, Mapping):
+        available: tuple[str, ...] = tuple(k for k in recorder if k != "t")
+        t = np.asarray(recorder["t"], dtype=float) if "t" in recorder \
+            else np.empty(0)
+    else:
+        available = recorder.names
+        t = np.asarray(recorder["t"], dtype=float)
+    names = tuple(channels) if channels is not None else available
+    arrays = {name: np.asarray(recorder[name], dtype=float) for name in names}
     rows: list[dict[str, Any]] = []
     for decision in decisions:
         row: dict[str, Any] = {
@@ -87,11 +101,15 @@ def join_decisions(
         }
         for key, value in decision.data.items():
             row[f"data.{key}"] = value
-        index = int(np.searchsorted(t, decision.t, side="right")) - 1
+        # Nearest sample at or before the decision; clamped so decisions
+        # stamped after the final sample join against that last sample.
+        index = min(int(np.searchsorted(t, decision.t, side="right")) - 1,
+                    len(t) - 1)
         if index >= 0:
             row["trace_t"] = float(t[index])
-            for name in names:
-                row[f"trace.{name}"] = float(recorder[name][index])
+            for name, values in arrays.items():
+                if index < len(values):
+                    row[f"trace.{name}"] = float(values[index])
         rows.append(row)
     return rows
 

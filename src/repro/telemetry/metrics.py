@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 
 from repro.battery.bank import BatteryBank
 from repro.cluster.rack import ServerRack
+from repro.cluster.server import ServerState
 from repro.sim.clock import Clock
 from repro.sim.component import Component
 from repro.workloads.base import Workload
@@ -91,6 +92,7 @@ class MetricsCollector(Component):
         self._stored_wh_integral = 0.0
         self._load_energy_wh = 0.0
         self._effective_energy_wh = 0.0
+        self._checkpoint_energy_wh = 0.0
         self._solar_energy_wh = 0.0
         self._solar_used_wh = 0.0
         self._curtailed_wh = 0.0
@@ -124,10 +126,14 @@ class MetricsCollector(Component):
             demand = self.rack.demand_w
         self._load_energy_wh += demand * dt_h
         effective = 0
+        transition = 0
         for server in self.rack.servers:
             if server.running_vm_count():
                 effective += server.power_w
+            elif server.state is ServerState.BOOTING or server.state is ServerState.SAVING:
+                transition += server.power_w
         self._effective_energy_wh += effective * dt_h
+        self._checkpoint_energy_wh += transition * dt_h
 
         report = self.plant.last_report
         if report is not None:
@@ -145,6 +151,37 @@ class MetricsCollector(Component):
         if self._since_voltage_sample >= self._voltage_sample_every:
             self._since_voltage_sample = 0.0
             self._voltage_samples.append(self.bank.mean_voltage)
+
+    # ------------------------------------------------------------------
+    # Cumulative accumulators (read by the obs energy ledger)
+    # ------------------------------------------------------------------
+    @property
+    def load_energy_wh(self) -> float:
+        """Wall-side server energy drawn so far (Wh)."""
+        return self._load_energy_wh
+
+    @property
+    def effective_energy_wh(self) -> float:
+        """Energy spent by servers actually running VMs (Wh)."""
+        return self._effective_energy_wh
+
+    @property
+    def checkpoint_energy_wh(self) -> float:
+        """Energy spent booting or checkpoint-saving — power drawn while
+        producing no compute (the On/Off cycle overhead of Table 6)."""
+        return self._checkpoint_energy_wh
+
+    @property
+    def solar_energy_wh(self) -> float:
+        return self._solar_energy_wh
+
+    @property
+    def solar_used_wh(self) -> float:
+        return self._solar_used_wh
+
+    @property
+    def curtailed_wh(self) -> float:
+        return self._curtailed_wh
 
     # ------------------------------------------------------------------
     # Summary

@@ -158,6 +158,50 @@ def compute_cell(
     return record
 
 
+def compute_ledger_cell(
+    controller: str,
+    workload: str,
+    weather: str,
+    duration_s: float = DURATION_S,
+) -> dict[str, Any]:
+    """Run one golden cell with full observability and account its energy.
+
+    Returns the cell's trace digests (so callers can prove the ledger and
+    alert engine never perturbed the trajectory), the summary energy
+    scalars, every ledger flow edge, the closure verdict, and the alert
+    counts.  Module-level and JSON-compatible so the matrix fans out via
+    :func:`~repro.experiments.runner.run_cells` — whose rollup folds the
+    ``ledger_edges`` / ``alert_counts`` keys into the global registry.
+    """
+    from dataclasses import asdict
+
+    from repro.obs.hub import Observability
+
+    seed = derive_seed(BASE_SEED, controller, workload, weather)
+    trace = make_day_trace(weather, dt_seconds=DT_SECONDS, seed=seed,
+                           target_mean_w=TARGET_MEAN_W)
+    obs = Observability()
+    system = build_system(
+        trace, _make_workload(workload), controller=controller, seed=seed,
+        initial_soc=INITIAL_SOC, dt=DT_SECONDS, observability=obs,
+    )
+    summary = system.run(duration_s)
+    return {
+        "cell": cell_name(controller, workload, weather),
+        "signals": trace_digests(system.recorder),
+        "summary_energy": {
+            "solar_energy_kwh": summary.solar_energy_kwh,
+            "solar_used_kwh": summary.solar_used_kwh,
+            "curtailed_kwh": summary.curtailed_kwh,
+            "load_energy_kwh": summary.load_energy_kwh,
+            "effective_energy_kwh": summary.effective_energy_kwh,
+        },
+        "ledger_edges": obs.ledger.edges(),
+        "closure": asdict(obs.ledger.closure()),
+        "alert_counts": obs.alerts.counts(),
+    }
+
+
 def compute_matrix(
     cells: Sequence[Mapping[str, str]] | None = None,
     max_workers: int | None = None,

@@ -1,0 +1,222 @@
+"""Alert engine: rule units (synthetic systems), hysteresis, integration."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.system import build_system
+from repro.obs.alerts import (
+    AlertEngine,
+    CheckpointStormRule,
+    DischargeCapNearMissRule,
+    LvdProximityRule,
+    SocDroopRule,
+    SustainedCurtailmentRule,
+    WearImbalanceRule,
+    default_rules,
+)
+from repro.obs.decisions import KNOWN_KINDS, DecisionLog
+from repro.obs.hub import Observability
+from repro.obs.registry import MetricsRegistry
+from repro.solar.traces import make_day_trace
+from repro.workloads import SeismicAnalysis
+
+
+def _unit(name="battery-1", soc=0.5, voltage=24.0, current=0.0,
+          discharge_ah=0.0, v_cutoff=23.3):
+    return SimpleNamespace(
+        name=name, soc=soc, terminal_voltage=voltage, last_current=current,
+        wear=SimpleNamespace(discharge_ah=discharge_ah),
+        params=SimpleNamespace(voltage=SimpleNamespace(v_cutoff=v_cutoff)),
+    )
+
+
+class _FakeBank(list):
+    """Iterable of fake units with the mean_soc the droop rule reads."""
+
+    def __init__(self, units, mean_soc):
+        super().__init__(units)
+        self.mean_soc = mean_soc
+
+
+def _system(units=None, mean_soc=0.5, cap=None, checkpoint_stops=0,
+            curtailed_w=0.0):
+    units = units if units is not None else [_unit()]
+    bank = _FakeBank(units, mean_soc)
+    return SimpleNamespace(
+        bank=bank,
+        controller=SimpleNamespace(discharge_cap_amps=cap,
+                                   checkpoint_stops=checkpoint_stops),
+        plant=SimpleNamespace(
+            last_report=SimpleNamespace(curtailed_w=curtailed_w)),
+    )
+
+
+class TestSocDroopRule:
+    def test_fires_on_fast_drop_and_rearms(self):
+        rule = SocDroopRule(max_drop_per_hour=0.1, window_s=600.0)
+        # 0.2/h drop: 0.0333 SoC over 600 s.
+        fired = []
+        soc = 0.9
+        for i in range(13):
+            t = i * 60.0
+            system = _system(mean_soc=soc)
+            fired.append(rule.evaluate(t, system))
+            soc -= 0.2 / 60.0  # 0.2 SoC per hour, sampled each minute
+        hits = [f for f in fired if f is not None]
+        assert len(hits) == 1  # edge-triggered, not once per sample
+        message, data = hits[0]
+        assert "dropping" in message
+        assert data["rate_per_hour"] > 0.1
+
+    def test_quiet_on_stable_soc(self):
+        rule = SocDroopRule(max_drop_per_hour=0.1, window_s=600.0)
+        for i in range(13):
+            assert rule.evaluate(i * 60.0, _system(mean_soc=0.8)) is None
+
+
+class TestWearImbalanceRule:
+    def test_fires_once_on_spread(self):
+        rule = WearImbalanceRule(max_imbalance_ah=5.0)
+        units = [_unit("b1", discharge_ah=12.0), _unit("b2", discharge_ah=2.0)]
+        first = rule.evaluate(0.0, _system(units=units))
+        again = rule.evaluate(60.0, _system(units=units))
+        assert first is not None and again is None
+        message, data = first
+        assert data["spread_ah"] == pytest.approx(10.0)
+
+    def test_rearms_below_hysteresis_band(self):
+        rule = WearImbalanceRule(max_imbalance_ah=5.0)
+        bad = [_unit("b1", discharge_ah=12.0), _unit("b2", discharge_ah=2.0)]
+        good = [_unit("b1", discharge_ah=3.0), _unit("b2", discharge_ah=2.0)]
+        assert rule.evaluate(0.0, _system(units=bad)) is not None
+        assert rule.evaluate(1.0, _system(units=good)) is None  # re-arm
+        assert rule.evaluate(2.0, _system(units=bad)) is not None
+
+
+class TestDischargeCapNearMissRule:
+    def test_inert_without_a_cap(self):
+        rule = DischargeCapNearMissRule()
+        units = [_unit(current=100.0)]
+        assert rule.evaluate(0.0, _system(units=units, cap=None)) is None
+
+    def test_fires_near_cap(self):
+        rule = DischargeCapNearMissRule(fraction=0.9)
+        units = [_unit("b1", current=10.0), _unit("b2", current=9.0)]
+        fired = rule.evaluate(0.0, _system(units=units, cap=20.0))
+        assert fired is not None
+        message, data = fired
+        assert data["total_amps"] == pytest.approx(19.0)
+        # below the re-arm fraction the rule resets
+        calm = [_unit("b1", current=5.0)]
+        assert rule.evaluate(1.0, _system(units=calm, cap=20.0)) is None
+        assert rule.evaluate(2.0, _system(units=units, cap=20.0)) is not None
+
+    def test_charging_current_not_counted(self):
+        rule = DischargeCapNearMissRule(fraction=0.9)
+        units = [_unit("b1", current=-50.0), _unit("b2", current=1.0)]
+        assert rule.evaluate(0.0, _system(units=units, cap=20.0)) is None
+
+
+class TestLvdProximityRule:
+    def test_fires_per_unit_when_discharging_near_cutoff(self):
+        rule = LvdProximityRule(margin_v=0.25)
+        near = [_unit("b1", voltage=23.4, current=2.0)]
+        fired = rule.evaluate(0.0, _system(units=near))
+        assert fired is not None
+        assert fired[1]["unit"] == "b1"
+        # armed per unit: stays quiet until the unit leaves the band
+        assert rule.evaluate(1.0, _system(units=near)) is None
+
+    def test_quiet_when_not_discharging(self):
+        rule = LvdProximityRule(margin_v=0.25)
+        idle = [_unit("b1", voltage=23.4, current=0.0)]
+        assert rule.evaluate(0.0, _system(units=idle)) is None
+
+
+class TestCheckpointStormRule:
+    def test_fires_on_repeated_stops_in_window(self):
+        rule = CheckpointStormRule(count=2, window_s=3600.0)
+        assert rule.evaluate(0.0, _system(checkpoint_stops=1)) is None
+        fired = rule.evaluate(600.0, _system(checkpoint_stops=2))
+        assert fired is not None
+        assert fired[1]["stops_in_window"] == 2
+        # the window cleared on fire: one more stop is not yet a storm
+        assert rule.evaluate(700.0, _system(checkpoint_stops=3)) is None
+
+    def test_stops_outside_window_do_not_accumulate(self):
+        rule = CheckpointStormRule(count=2, window_s=600.0)
+        assert rule.evaluate(0.0, _system(checkpoint_stops=1)) is None
+        assert rule.evaluate(3600.0, _system(checkpoint_stops=2)) is None
+
+
+class TestSustainedCurtailmentRule:
+    def test_fires_after_sustained_episode_only(self):
+        rule = SustainedCurtailmentRule(floor_w=100.0, duration_s=600.0)
+        assert rule.evaluate(0.0, _system(curtailed_w=300.0)) is None
+        assert rule.evaluate(300.0, _system(curtailed_w=250.0)) is None
+        fired = rule.evaluate(650.0, _system(curtailed_w=200.0))
+        assert fired is not None
+        # one alert per episode
+        assert rule.evaluate(700.0, _system(curtailed_w=200.0)) is None
+        # episode ends, new episode can fire again
+        assert rule.evaluate(800.0, _system(curtailed_w=0.0)) is None
+        assert rule.evaluate(900.0, _system(curtailed_w=200.0)) is None
+        assert rule.evaluate(1600.0, _system(curtailed_w=200.0)) is not None
+
+
+class TestAlertEngine:
+    def test_stride_must_be_positive(self):
+        with pytest.raises(ValueError, match="stride"):
+            AlertEngine(stride=0)
+
+    def test_emit_records_decision_and_counter(self):
+        decisions = DecisionLog()
+        registry = MetricsRegistry()
+        engine = AlertEngine(rules=[WearImbalanceRule(max_imbalance_ah=1.0)],
+                             stride=1, decisions=decisions, registry=registry)
+        units = [_unit("b1", discharge_ah=9.0), _unit("b2")]
+        engine.attach(_system(units=units), observe=False)
+        engine(SimpleNamespace(step_index=0, t=120.0))
+        assert len(engine) == 1
+        alert = engine.alerts[0]
+        assert alert.rule == "wear_imbalance" and alert.t == 120.0
+        assert decisions.of_kind("alert")[0].kind == "alert.wear_imbalance"
+        counter = registry.get("alerts_total", rule="wear_imbalance")
+        assert counter is not None and counter.value == 1
+
+    def test_all_alert_kinds_are_known_decision_kinds(self):
+        for rule in default_rules():
+            assert f"alert.{rule.name}" in KNOWN_KINDS
+
+    def test_jsonl_lines_parse(self):
+        engine = AlertEngine(rules=[WearImbalanceRule(max_imbalance_ah=1.0)],
+                             stride=1)
+        units = [_unit("b1", discharge_ah=9.0), _unit("b2")]
+        engine.attach(_system(units=units), observe=False)
+        engine(SimpleNamespace(step_index=0, t=60.0))
+        lines = engine.to_jsonl().splitlines()
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        assert payload["rule"] == "wear_imbalance"
+        assert payload["severity"] == "warning"
+
+
+class TestIntegration:
+    def test_full_system_run_streams_alerts_into_decisions(self):
+        trace = make_day_trace("cloudy", dt_seconds=5.0, seed=1,
+                               target_mean_w=800.0)
+        obs = Observability()
+        system = build_system(trace, SeismicAnalysis(), controller="insure",
+                              seed=1, initial_soc=0.55, dt=5.0,
+                              observability=obs)
+        system.run(3 * 3600.0)
+        assert len(obs.alerts) > 0
+        counts = obs.alerts.counts()
+        assert sum(counts.values()) == len(obs.alerts)
+        joined = obs.decisions.of_kind("alert")
+        assert len(joined) == len(obs.alerts)
+        for decision, alert in zip(joined, obs.alerts.alerts):
+            assert decision.kind == f"alert.{alert.rule}"
+            assert decision.t == alert.t

@@ -78,3 +78,53 @@ def test_join_decisions_attaches_nearest_prior_sample():
     assert joined["trace.demand_w"] == 200.0
     assert joined["data.vms"] == 2
     assert "trace_t" not in by_kind["buffer.mode"]
+
+
+def test_join_decisions_after_final_sample_uses_last_sample():
+    # Alerts and shutdown decisions are routinely stamped after the trace
+    # recorder's final (decimated) sample; they join against that sample.
+    log = DecisionLog()
+    log.record(10_000.0, "alert.soc_droop", "alerts", severity="warning")
+    rows = join_decisions(_StubRecorder(), log)
+    assert rows[0]["trace_t"] == 120.0
+    assert rows[0]["trace.demand_w"] == 300.0
+
+
+def test_join_decisions_with_empty_recorder():
+    from repro.sim.trace import TraceRecorder
+
+    log = DecisionLog()
+    log.record(5.0, "vm.target", "insure", vms=1)
+    recorder = TraceRecorder()
+    recorder.channel("demand_w", lambda: 0.0)
+    rows = join_decisions(recorder, log)  # no samples recorded yet
+    assert len(rows) == 1
+    assert "trace_t" not in rows[0]
+    assert rows[0]["data.vms"] == 1
+
+
+def test_join_decisions_accepts_plain_mapping():
+    log = DecisionLog()
+    log.record(65.0, "vm.target", "insure", vms=2)
+    arrays = {"t": [0.0, 60.0, 120.0], "soc": [0.9, 0.8, 0.7]}
+    rows = join_decisions(arrays, log)
+    assert rows[0]["trace_t"] == 60.0
+    assert rows[0]["trace.soc"] == 0.8
+
+
+def test_join_decisions_empty_mapping_and_no_decisions():
+    log = DecisionLog()
+    log.record(1.0, "vm.target", "insure")
+    assert join_decisions({}, log)[0].get("trace_t") is None
+    assert join_decisions(_StubRecorder(), DecisionLog()) == []
+
+
+def test_join_decisions_ragged_channel_shorter_than_time():
+    # A channel array shorter than the time axis (interrupted export)
+    # must not index out of range.
+    log = DecisionLog()
+    log.record(130.0, "vm.target", "insure")
+    arrays = {"t": [0.0, 60.0, 120.0], "soc": [0.9, 0.8]}
+    rows = join_decisions(arrays, log)
+    assert rows[0]["trace_t"] == 120.0
+    assert "trace.soc" not in rows[0]

@@ -33,7 +33,8 @@ def test_write_outputs_creates_artifacts(tmp_path):
     paths = write_outputs(result, tmp_path)
     assert (tmp_path / "breakdown.txt").is_file()
     assert set(paths) == {"metrics_jsonl", "metrics_prom", "decisions_jsonl",
-                          "spans_folded", "breakdown"}
+                          "spans_folded", "ledger_json", "alerts_jsonl",
+                          "breakdown"}
     text = (tmp_path / "breakdown.txt").read_text()
     assert "per-component time breakdown" in text
 

@@ -138,6 +138,60 @@ class TestRegistry:
         assert 'tick_seconds_bucket{le="+Inf"} 1' in text
         assert "tick_seconds_count 1" in text
 
+    def test_prometheus_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("alerts_total",
+                    rule='say "hi"\nback\\slash').inc()
+        text = reg.to_prometheus()
+        assert r'rule="say \"hi\"\nback\\slash"' in text
+        assert "\nback" not in text.replace("\\nback", "")  # no raw newline
+
+    def test_prometheus_escapes_help_text(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", "first line\nsecond \\ line").inc()
+        text = reg.to_prometheus()
+        assert "# HELP ops first line\\nsecond \\\\ line" in text
+
+    def test_prometheus_headers_once_per_family(self):
+        # Children of one family (same name, different labels) must yield
+        # exactly one HELP and one TYPE line, even when the help text
+        # arrives on a later-created (or later-sorted) child.
+        reg = MetricsRegistry()
+        reg.counter("alerts_total", rule="zz_first_created").inc()
+        reg.counter("alerts_total", "alerts fired per rule",
+                    rule="aa_sorted_first").inc()
+        reg.gauge("bank.soc", unit="b1").set(0.4)
+        reg.gauge("bank.soc", unit="b2").set(0.5)
+        text = reg.to_prometheus()
+        lines = text.splitlines()
+        assert lines.count("# HELP alerts_total alerts fired per rule") == 1
+        assert lines.count("# TYPE alerts_total counter") == 1
+        assert lines.count("# TYPE bank_soc gauge") == 1
+        assert sum(1 for li in lines
+                   if li.startswith("# HELP alerts_total")) == 1
+
+    def test_prometheus_format_conformance(self):
+        # Every non-comment line must be `name{labels} value` with a
+        # sanitized metric name; every family headed by exactly one TYPE.
+        import re
+
+        reg = MetricsRegistry()
+        reg.counter("runner.cells_total", "cells run").inc(2)
+        reg.gauge("ledger.edge_wh", "energy per edge",
+                  edge="pv.harvest").set(123.4)
+        reg.histogram("tick_seconds", "tick wall time",
+                      buckets=(0.1, 1.0)).observe(0.05)
+        sample_re = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$')
+        seen_types: list[str] = []
+        for line in reg.to_prometheus().splitlines():
+            if line.startswith("# TYPE "):
+                seen_types.append(line.split()[2])
+            elif not line.startswith("#"):
+                assert sample_re.match(line), line
+        assert seen_types == sorted(seen_types)  # name-sorted families
+        assert len(seen_types) == len(set(seen_types))
+
     def test_collect_is_name_sorted(self):
         reg = MetricsRegistry()
         reg.counter("zzz")

@@ -1,0 +1,99 @@
+"""Flight report: builder, Markdown/HTML rendering, artifacts, compare."""
+
+import json
+
+import pytest
+
+from repro.telemetry.flight import (
+    render_html,
+    render_markdown,
+    run_flight,
+    write_flight_report,
+)
+
+SHORT_H = 3.0
+
+
+@pytest.fixture(scope="module")
+def flight():
+    return run_flight(controller="insure", workload="seismic",
+                      weather="cloudy", seed=1, duration_s=SHORT_H * 3600.0)
+
+
+@pytest.fixture(scope="module")
+def flight_with_compare():
+    return run_flight(controller="insure", workload="seismic",
+                      weather="cloudy", seed=1,
+                      duration_s=SHORT_H * 3600.0, compare="baseline")
+
+
+class TestRunFlight:
+    def test_collects_summary_ledger_and_alerts(self, flight):
+        assert flight.summary.elapsed_s == pytest.approx(SHORT_H * 3600.0)
+        assert flight.ticks == int(SHORT_H * 3600.0 / 5.0)
+        assert flight.obs.ledger.closure().ok
+        assert flight.ledger_edges["pv.harvest"] > 0
+
+    def test_compare_must_differ(self):
+        with pytest.raises(ValueError, match="differ"):
+            run_flight(controller="insure", compare="insure",
+                       duration_s=600.0)
+
+    def test_compare_runs_same_trace(self, flight_with_compare):
+        report = flight_with_compare
+        assert report.compare_controller == "baseline"
+        assert report.compare_summary is not None
+        # identical seed/trace: identical harvest, different usage
+        ours = report.ledger_edges["pv.harvest"]
+        theirs = report.compare_obs.ledger.edges()["pv.harvest"]
+        assert ours == pytest.approx(theirs)
+
+
+class TestMarkdown:
+    def test_sections_present(self, flight):
+        text = render_markdown(flight)
+        for heading in ("# Flight report — insure / seismic / cloudy",
+                        "## Service", "## Energy ledger", "## Alerts",
+                        "## Decisions", "## Span profile"):
+            assert heading in text
+        assert "Closure: ledger closure ok" in text
+        assert "| pv.harvest |" in text
+        assert "## Comparison" not in text
+
+    def test_compare_sections(self, flight_with_compare):
+        text = render_markdown(flight_with_compare)
+        assert "## Comparison" in text
+        assert "### Ledger delta" in text
+        assert "| flow edge | insure | baseline |" in text
+
+
+class TestHtml:
+    def test_is_self_contained_document(self, flight):
+        page = render_html(flight)
+        assert page.startswith("<!DOCTYPE html>")
+        assert page.endswith("</html>")
+        assert "<h2>Energy ledger</h2>" in page
+        assert "pv.harvest" in page
+
+    def test_escapes_content(self, flight):
+        # The renderer must escape whatever lands in messages/labels.
+        flight_alerts = flight.alerts
+        page = render_html(flight)
+        for alert in flight_alerts:
+            assert f"<td>{alert.rule}</td>" in page
+
+
+class TestArtifacts:
+    def test_write_flight_report(self, flight, tmp_path):
+        paths = write_flight_report(flight, tmp_path, with_html=True)
+        assert {"flight_md", "flight_html", "ledger_json", "alerts_jsonl",
+                "metrics_prom", "decisions_jsonl",
+                "spans_folded"} <= set(paths)
+        assert paths["flight_md"].read_text().startswith("# Flight report")
+        ledger = json.loads(paths["ledger_json"].read_text())
+        assert ledger["closure"]["ok"] is True
+
+    def test_markdown_only_by_default(self, flight, tmp_path):
+        paths = write_flight_report(flight, tmp_path)
+        assert "flight_html" not in paths
+        assert paths["flight_md"].is_file()
