@@ -14,6 +14,8 @@ Run reproduction experiments without writing code::
     python -m repro validate --sweep-hours 36 --report sweep.json
     python -m repro profile run --workload seismic --solar sunny --out prof/
     python -m repro report run --workload video --compare baseline --out flight/
+    python -m repro fleet run --sites 1024 --seeds 1 --backend fleet
+    python -m repro fleet mc --cabinets 2,3,4,5 --samples 64
 """
 
 from __future__ import annotations
@@ -339,6 +341,96 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.fullsystem import run_single
+    from repro.experiments.runner import derive_seed, run_cells
+    from repro.solar.traces import make_day_trace
+
+    if args.sites < 1 or args.seeds < 1:
+        raise SystemExit("--sites and --seeds must be at least 1")
+    if args.backend == "fleet":
+        from repro.sim.fleet import NUMPY_HINT, numpy_available
+
+        if not numpy_available():
+            print(f"note: {NUMPY_HINT}", file=sys.stderr)
+
+    cells = [
+        dict(
+            controller=args.controller,
+            workload_kind=args.workload,
+            profile=args.solar,
+            solar_mean_w=args.mean_w,
+            seed=derive_seed(args.seed, "fleet", batch, site),
+            initial_soc=args.initial_soc,
+            use_cache=False,
+        )
+        for batch in range(args.seeds)
+        for site in range(args.sites)
+    ]
+    trace = make_day_trace(args.solar, target_mean_w=args.mean_w,
+                           seed=args.seed)
+    steps = max(1, round(trace.duration_s / trace.dt_seconds))
+
+    t0 = time.perf_counter()
+    summaries = run_cells(run_single, cells, backend=args.backend,
+                          max_workers=args.jobs)
+    wall_s = time.perf_counter() - t0
+
+    runs = len(summaries)
+    ticks = runs * steps
+    print(f"{args.controller} / {args.workload} / {args.solar} "
+          f"({args.mean_w:.0f} W avg) — {args.sites} site(s) x "
+          f"{args.seeds} seed(s), backend {args.backend}")
+    print(f"{ticks:,} site-ticks in {wall_s:.2f} s "
+          f"({ticks / wall_s:,.0f} ticks/s aggregate)")
+    print()
+    _print_fleet_percentiles(summaries)
+    return 0
+
+
+def _print_fleet_percentiles(summaries) -> None:
+    """Per-site distribution table over the fleet's run summaries."""
+    from repro.experiments.montecarlo import PERCENTILES, percentile
+
+    metrics = (
+        ("uptime %", [s.uptime_fraction * 100.0 for s in summaries], "7.1f"),
+        ("processed GB", [s.processed_gb for s in summaries], "7.1f"),
+        ("throughput GB/h", [s.throughput_gb_per_hour for s in summaries],
+         "7.2f"),
+        ("min voltage V", [s.min_battery_voltage for s in summaries], "7.2f"),
+        ("life days", [s.projected_life_days for s in summaries], "7.0f"),
+    )
+    header = f"{'per-site':16s}" + "".join(f" {'p' + str(p):>8s}"
+                                           for p in PERCENTILES)
+    print(header)
+    print("-" * len(header))
+    for label, values, fmt in metrics:
+        row = "".join(f" {percentile(values, p):>8{fmt[1:]}}"
+                      for p in PERCENTILES)
+        print(f"{label:16s}{row}")
+
+
+def _cmd_fleet_mc(args: argparse.Namespace) -> int:
+    from repro.experiments.montecarlo import format_monte_carlo, run_monte_carlo
+
+    counts = tuple(int(c) for c in args.cabinets.split(","))
+    points = run_monte_carlo(
+        battery_counts=counts,
+        solar_scale=args.solar_scale,
+        samples=args.samples,
+        base_seed=args.seed,
+        backend=args.backend,
+        max_workers=args.jobs,
+        use_cache=not args.no_cache,
+    )
+    print(f"Monte Carlo provisioning — {args.samples} sample(s)/config, "
+          f"backend {args.backend}")
+    print(format_monte_carlo(points))
+    return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.cost.scaleout import cloud_cost, insitu_cost, pods_required
 
@@ -474,6 +566,45 @@ def build_parser() -> argparse.ArgumentParser:
                               help="also render flight_report.html (with "
                                    "--out)")
     report_run_p.set_defaults(func=_cmd_report)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="batch-simulate many sites through the vectorized SoA kernel",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run", help="run N sites x S seeds and print the fleet distribution"
+    )
+    fleet_run.add_argument("--sites", type=int, default=256,
+                           help="sites per seed batch (default 256)")
+    fleet_run.add_argument("--seeds", type=int, default=1,
+                           help="independent seed batches (default 1)")
+    fleet_run.add_argument("--backend", default="fleet",
+                           choices=("fleet", "pool", "serial"),
+                           help="execution backend (default fleet; falls "
+                                "back to pool/serial without numpy)")
+    fleet_run.add_argument("--controller", default="insure",
+                           choices=("insure", "baseline"))
+    fleet_run.add_argument("--jobs", type=int, default=None,
+                           help="worker processes for pool/serial fallback")
+    add_run_options(fleet_run)
+    fleet_run.set_defaults(func=_cmd_fleet)
+    fleet_mc = fleet_sub.add_parser(
+        "mc", help="Monte Carlo provisioning percentiles per e-Buffer size"
+    )
+    fleet_mc.add_argument("--cabinets", default="2,3,4,5",
+                          help="comma-separated battery counts (default "
+                               "2,3,4,5)")
+    fleet_mc.add_argument("--samples", type=int, default=64,
+                          help="seed samples per configuration (default 64)")
+    fleet_mc.add_argument("--solar-scale", type=float, default=1.0)
+    fleet_mc.add_argument("--seed", type=int, default=7)
+    fleet_mc.add_argument("--backend", default="fleet",
+                          choices=("fleet", "pool", "serial"))
+    fleet_mc.add_argument("--jobs", type=int, default=None)
+    fleet_mc.add_argument("--no-cache", action="store_true",
+                          help="bypass the on-disk run cache")
+    fleet_mc.set_defaults(func=_cmd_fleet_mc)
 
     plan = sub.add_parser("plan", help="in-situ vs cloud deployment economics")
     plan.add_argument("--gb-per-day", type=float, required=True)

@@ -137,6 +137,7 @@ def _run_figure_matrix(
     seed: int,
     max_workers: int | None,
     use_cache: bool,
+    backend: str | None = None,
 ) -> dict[str, ComparisonResult]:
     """Fan the four (level × controller) cells out across workers."""
     cells = []
@@ -150,7 +151,8 @@ def _run_figure_matrix(
                 seed=seed,
                 use_cache=use_cache,
             ))
-    summaries = run_cells(run_single, cells, max_workers=max_workers)
+    summaries = run_cells(run_single, cells, max_workers=max_workers,
+                          backend=backend)
     results = {}
     for label, mean_w, offset in (("high", HIGH_MEAN_W, 0), ("low", LOW_MEAN_W, 2)):
         results[label] = ComparisonResult(
@@ -166,15 +168,17 @@ def run_figure20(
     seed: int = 1,
     max_workers: int | None = None,
     use_cache: bool = True,
+    backend: str | None = None,
 ) -> dict[str, ComparisonResult]:
     """Figure 20: in-situ batch job at high and low solar."""
-    return _run_figure_matrix("seismic", seed, max_workers, use_cache)
+    return _run_figure_matrix("seismic", seed, max_workers, use_cache, backend)
 
 
 def run_figure21(
     seed: int = 1,
     max_workers: int | None = None,
     use_cache: bool = True,
+    backend: str | None = None,
 ) -> dict[str, ComparisonResult]:
     """Figure 21: in-situ data stream at high and low solar."""
-    return _run_figure_matrix("video", seed, max_workers, use_cache)
+    return _run_figure_matrix("video", seed, max_workers, use_cache, backend)

@@ -98,6 +98,7 @@ def run_provisioning_sweep(
     mean_w: float = 900.0,
     max_workers: int | None = None,
     use_cache: bool = True,
+    backend: str | None = None,
 ) -> list[ProvisioningPoint]:
     """Sweep the e-Buffer size over a full 24 h (day + night).
 
@@ -119,7 +120,7 @@ def run_provisioning_sweep(
         for seed in seeds
     ]
     all_summaries = run_cells(run_provisioning_cell, cells,
-                              max_workers=max_workers)
+                              max_workers=max_workers, backend=backend)
     points = []
     for i, count in enumerate(battery_counts):
         summaries = all_summaries[i * len(seeds):(i + 1) * len(seeds)]

@@ -28,6 +28,46 @@ from repro.obs.ledger import SIGNED_EDGES
 from repro.obs.registry import global_registry
 
 ENV_WORKERS = "REPRO_WORKERS"
+ENV_BACKEND = "REPRO_BACKEND"
+
+#: run_cells execution backends.  ``auto`` is the historical behaviour
+#: (process pool, degrading to serial); ``fleet`` routes the whole cell
+#: batch through the vectorized SoA kernel when an adapter exists for the
+#: cell function, falling back to pool/serial otherwise.
+BACKENDS = ("auto", "fleet", "pool", "serial")
+
+
+def _cell_label(index: int, cell: Mapping[str, Any]) -> str:
+    """A short human-readable id for one cell (index + leading kwargs)."""
+    parts = []
+    for key, value in cell.items():
+        if isinstance(value, (str, int, float, bool)):
+            parts.append(f"{key}={value}")
+        if len(parts) == 4:
+            break
+    detail = ", ".join(parts)
+    return f"cell #{index}" + (f" ({detail})" if detail else "")
+
+
+class CellExecutionError(Exception):
+    """A pool-executed cell raised; names the failing cell for triage.
+
+    Raised instead of the bare worker exception so a 200-cell sweep that
+    dies in worker 7 reports *which* cell blew up, not just the traceback
+    of the cell function.  The original exception is chained as
+    ``__cause__``.  Deliberately not a ``RuntimeError`` subclass: the
+    pool-infrastructure fallback catches ``RuntimeError`` and this must
+    propagate, not trigger a silent serial re-run.
+    """
+
+    def __init__(self, index: int, cell: Mapping[str, Any],
+                 cause: BaseException) -> None:
+        self.index = index
+        self.cell = dict(cell)
+        super().__init__(
+            f"{_cell_label(index, cell)} raised "
+            f"{type(cause).__name__}: {cause}"
+        )
 
 #: Histogram buckets for cell runtimes (sub-second replays to minutes).
 _CELL_SECONDS_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
@@ -133,10 +173,49 @@ def _roll_up_obs(results: Sequence[Any]) -> None:
                                      rule=rule).inc(int(count))
 
 
+def _try_fleet_backend(
+    fn: Callable[..., Any], cells: Sequence[Mapping[str, Any]]
+) -> list[Any] | None:
+    """Route the batch through the vectorized kernel; None on fallback."""
+    registry = global_registry()
+    try:
+        from repro.experiments.adapters import run_cells_fleet
+
+        t0 = time.perf_counter()
+        results = run_cells_fleet(fn, cells)
+    except Exception as exc:
+        from repro.sim.fleet import FleetUnsupported
+
+        if not isinstance(exc, (FleetUnsupported, ImportError)):
+            raise
+        registry.counter(
+            "runner.fleet_fallbacks_total",
+            "cell batches the fleet backend routed back to pool/serial",
+        ).inc()
+        warnings.warn(
+            f"fleet backend unavailable for {len(cells)} cell(s) "
+            f"({type(exc).__name__}: {exc}); using pool/serial",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    registry.histogram("runner.batch_seconds",
+                       "wall time per parallel cell batch",
+                       buckets=_CELL_SECONDS_BUCKETS).observe(
+        time.perf_counter() - t0)
+    registry.counter("runner.cells_total",
+                     "experiment cells executed").inc(len(cells))
+    registry.counter("runner.fleet_cells_total",
+                     "experiment cells executed by the fleet backend").inc(
+        len(cells))
+    return results
+
+
 def run_cells(
     fn: Callable[..., Any],
     cells: Sequence[Mapping[str, Any]],
     max_workers: int | None = None,
+    backend: str | None = None,
 ) -> list[Any]:
     """Run ``fn(**cell)`` for every cell; results in submission order.
 
@@ -150,10 +229,32 @@ def run_cells(
         or any failure to stand up a process pool (missing ``fork``,
         sandboxed interpreter, …) — falls back to the serial loop, whose
         results are identical by construction.
+    backend:
+        One of :data:`BACKENDS`; ``None`` reads ``REPRO_BACKEND`` and
+        defaults to ``auto`` (pool with serial fallback).  ``fleet``
+        batches every cell through the vectorized SoA kernel when the
+        cell function has a registered adapter, and degrades to the
+        pool/serial path when numpy is missing or any cell is
+        unsupported.  ``serial`` forces the in-process loop.
     """
     cells = list(cells)
     if not cells:
         return []
+    if backend is None:
+        backend = os.environ.get(ENV_BACKEND, "").strip() or "auto"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r} (expected one of {BACKENDS})"
+        )
+    if backend == "fleet":
+        results = _try_fleet_backend(fn, cells)
+        if results is not None:
+            _roll_up_obs(results)
+            return results
+    if backend == "serial":
+        results = _run_serial(fn, cells)
+        _roll_up_obs(results)
+        return results
     workers = default_workers(len(cells)) if max_workers is None else max_workers
     workers = min(max(1, int(workers)), len(cells))
     if workers <= 1:
@@ -170,12 +271,34 @@ def run_cells(
 
     registry = global_registry()
     try:
+        from concurrent.futures.process import BrokenProcessPool
+
+        # Probe fn's picklability up front: an unpicklable callable (lambda,
+        # closure) fails for every cell, and the failure type varies by
+        # Python version (PicklingError vs AttributeError), so catching it
+        # here keeps the degrade-to-serial path deterministic and leaves
+        # the in-pool wrapper below to report genuine per-cell bugs.
+        pickle.dumps(fn)
+
         t0 = time.perf_counter()
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(fn, **cell) for cell in cells]
-            # A raising cell lands in the fallback handler below and is
-            # re-run (and failure-counted) by the serial loop.
-            results = [future.result() for future in futures]
+            results = []
+            for index, future in enumerate(futures):
+                try:
+                    results.append(future.result())
+                except (BrokenProcessPool, pickle.PicklingError):
+                    # Pool infrastructure failure, not a cell bug: let the
+                    # fallback handler below re-run the batch serially.
+                    raise
+                except Exception as exc:
+                    # The cell itself raised.  Re-raise named so a big
+                    # sweep reports which cell failed, and skip the
+                    # pointless serial re-run of the whole batch.
+                    registry.counter(
+                        "runner.cell_failures_total",
+                        "experiment cells that raised").inc()
+                    raise CellExecutionError(index, cells[index], exc) from exc
         registry.histogram("runner.batch_seconds",
                            "wall time per parallel cell batch",
                            buckets=_CELL_SECONDS_BUCKETS).observe(

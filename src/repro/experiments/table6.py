@@ -85,6 +85,7 @@ def run_table6(
     dt: float = 5.0,
     max_workers: int | None = None,
     use_cache: bool = True,
+    backend: str | None = None,
 ) -> list[Table6Cell]:
     """All six Table 6 cells, fanned out across worker processes."""
     labels: list[tuple[str, str]] = []
@@ -102,7 +103,8 @@ def run_table6(
                 dt=dt,
                 use_cache=use_cache,
             ))
-    summaries = run_cells(run_table6_cell, cells, max_workers=max_workers)
+    summaries = run_cells(run_table6_cell, cells, max_workers=max_workers,
+                          backend=backend)
     return [
         Table6Cell(day=day, scheme=scheme, summary=summary)
         for (day, scheme), summary in zip(labels, summaries)

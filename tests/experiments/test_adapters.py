@@ -1,0 +1,154 @@
+"""Fleet backend routing, cell-id failure naming, Monte Carlo stats."""
+
+import pytest
+
+from repro.experiments import adapters
+from repro.experiments.montecarlo import (
+    PERCENTILES,
+    format_monte_carlo,
+    monte_carlo_cells,
+    percentile,
+)
+from repro.experiments.runner import (
+    BACKENDS,
+    CellExecutionError,
+    _cell_label,
+    run_cells,
+)
+from repro.obs.registry import global_registry, reset_global_registry
+
+
+def _double(x):
+    """Module-level (picklable) cell function with no fleet adapter."""
+    return x * 2
+
+
+def _explode_on_two(x):
+    if x == 2:
+        raise ValueError(f"cell {x} blew up")
+    return x
+
+
+class TestAdapterRegistry:
+    def test_experiment_cell_functions_are_adapted(self):
+        from repro.experiments.fullsystem import run_single
+        from repro.experiments.provisioning import run_provisioning_cell
+        from repro.experiments.table6 import run_table6_cell
+
+        for fn in (run_single, run_table6_cell, run_provisioning_cell):
+            assert adapters.has_adapter(fn), fn.__name__
+
+    def test_arbitrary_functions_are_not(self):
+        assert not adapters.has_adapter(_double)
+
+    def test_unadapted_function_raises_fleet_unsupported(self):
+        from repro.sim.fleet import FleetUnsupported
+
+        with pytest.raises(FleetUnsupported, match="no fleet adapter"):
+            adapters.run_cells_fleet(_double, [dict(x=1)])
+
+    def test_missing_numpy_raises_the_install_hint(self, monkeypatch):
+        import repro.sim.fleet as fleet_pkg
+
+        monkeypatch.setattr(fleet_pkg, "numpy_available", lambda: False)
+        with pytest.raises(ImportError, match="repro"):
+            adapters.run_cells_fleet(_double, [dict(x=1)])
+
+
+class TestBackendSelection:
+    def test_backend_names_are_pinned(self):
+        assert BACKENDS == ("auto", "fleet", "pool", "serial")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_cells(_double, [dict(x=1)], backend="gpu")
+
+    def test_env_var_backend_is_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_cells(_double, [dict(x=1)])
+
+    def test_fleet_degrades_to_pool_serial_for_unadapted_fn(self):
+        reset_global_registry()
+        cells = [dict(x=i) for i in range(4)]
+        with pytest.warns(RuntimeWarning, match="fleet backend unavailable"):
+            results = run_cells(_double, cells, backend="fleet", max_workers=1)
+        assert results == [0, 2, 4, 6]
+        counter = global_registry().get("runner.fleet_fallbacks_total")
+        assert counter is not None and counter.value == 1
+
+    def test_serial_backend_forces_in_process_loop(self):
+        assert run_cells(_double, [dict(x=i) for i in range(3)],
+                         backend="serial") == [0, 2, 4]
+
+
+class TestCellFailureNaming:
+    def test_label_includes_index_and_leading_kwargs(self):
+        label = _cell_label(7, dict(controller="insure", seed=3,
+                                    trace=[1, 2, 3]))
+        assert label == "cell #7 (controller=insure, seed=3)"
+
+    def test_pool_failure_names_the_cell(self):
+        reset_global_registry()
+        cells = [dict(x=i) for i in range(4)]
+        with pytest.raises(CellExecutionError, match=r"cell #2 \(x=2\)") as info:
+            run_cells(_explode_on_two, cells, max_workers=2, backend="pool")
+        assert info.value.index == 2
+        assert info.value.cell == dict(x=2)
+        assert isinstance(info.value.__cause__, ValueError)
+        counter = global_registry().get("runner.cell_failures_total")
+        assert counter is not None and counter.value == 1
+
+    def test_is_not_a_runtime_error(self):
+        # The pool-infrastructure fallback catches RuntimeError; a named
+        # cell failure must propagate, not trigger a serial re-run.
+        assert not issubclass(CellExecutionError, RuntimeError)
+
+
+class TestPercentiles:
+    def test_median_of_odd_list(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_linear_interpolation_matches_numpy_convention(self):
+        np = pytest.importorskip("numpy")
+        values = [0.0, 1.0, 2.0, 10.0]
+        for pct in PERCENTILES:
+            assert percentile(values, pct) == pytest.approx(
+                float(np.percentile(values, pct)))
+
+    def test_single_value_is_every_percentile(self):
+        assert percentile([4.2], 5) == 4.2
+        assert percentile([4.2], 95) == 4.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestMonteCarloCells:
+    def test_grid_order_and_distinct_seeds(self):
+        cells = monte_carlo_cells((2, 4), 1.0, 3, base_seed=7,
+                                  mean_w=900.0, use_cache=False)
+        assert len(cells) == 6
+        assert [c["battery_count"] for c in cells] == [2, 2, 2, 4, 4, 4]
+        seeds = {c["seed"] for c in cells}
+        assert len(seeds) == 6  # sha256-derived, all distinct
+
+    def test_seeds_are_reproducible(self):
+        first = monte_carlo_cells((3,), 1.0, 4, 7, 900.0, True)
+        again = monte_carlo_cells((3,), 1.0, 4, 7, 900.0, True)
+        assert first == again
+
+    def test_format_renders_one_row_per_point(self):
+        from repro.experiments.montecarlo import MonteCarloPoint
+
+        point = MonteCarloPoint(
+            battery_count=3, solar_scale=1.0, samples=8,
+            uptime_pct={p: 0.9 for p in PERCENTILES},
+            processed_pct={p: 12.0 for p in PERCENTILES},
+            min_voltage_pct={p: 11.5 for p in PERCENTILES},
+        )
+        table = format_monte_carlo([point])
+        lines = table.splitlines()
+        assert "Cabinets" in lines[0]
+        assert lines[-1].lstrip().startswith("3")
