@@ -57,6 +57,12 @@ class SolarCharger:
             raise ValueError("per_string_overhead_w must be non-negative")
         self.efficiency = efficiency
         self.per_string_overhead_w = per_string_overhead_w
+        #: Fraction of the offered solar surplus the charger may draw —
+        #: the knob :class:`repro.policy.controls.ChargeCurrentCapControl`
+        #: turns.  1.0 (the default) multiplies the budget by exactly
+        #: 1.0, an IEEE-754 identity, so uncapped runs stay bit-exact.
+        #: Withheld surplus is curtailed, keeping the ledger closed.
+        self.cap_fraction = 1.0
 
     def peak_charging_power(self, unit: BatteryUnit) -> float:
         """P_PC of Figure 10: terminal power drawn by one cabinet charging
@@ -86,7 +92,7 @@ class SolarCharger:
         if not targets:
             return ChargeResult(0.0, power_budget_w, 0.0)
 
-        remaining = power_budget_w * self.efficiency
+        remaining = (power_budget_w * self.cap_fraction) * self.efficiency
         used = 0.0
         accepted_ah = 0.0
 

@@ -171,23 +171,47 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _available_cell_ids() -> list[str]:
+    """Every pinned cell id: matrix cells as controller:workload:weather
+    plus the policy scenario cells as scenario-<name>."""
+    from repro.experiments.scenarios import scenario_names
+    from repro.validate import golden
+
+    ids = [
+        f"{c['controller']}:{c['workload']}:{c['weather']}"
+        for c in golden.matrix_cells()
+    ]
+    ids.extend(golden.scenario_cell_name(name) for name in scenario_names())
+    return ids
+
+
+def _unknown_cell(spec: str) -> SystemExit:
+    listing = "\n  ".join(_available_cell_ids())
+    return SystemExit(f"unknown cell {spec!r}; available cells:\n  {listing}")
+
+
 def _parse_cells(specs):
+    from repro.experiments.scenarios import scenario_names
     from repro.validate import golden
 
     if not specs:
         return None
     cells = []
     for spec in specs:
+        if spec.startswith("scenario-"):
+            name = spec[len("scenario-"):]
+            if name not in scenario_names():
+                raise _unknown_cell(spec)
+            cells.append({"scenario": name})
+            continue
         parts = spec.split(":")
         if len(parts) != 3:
-            raise SystemExit(
-                f"bad cell {spec!r} (expected controller:workload:weather)"
-            )
+            raise _unknown_cell(spec)
         controller, workload, weather = parts
         if (controller not in golden.CONTROLLERS
                 or workload not in golden.WORKLOADS
                 or weather not in golden.WEATHERS):
-            raise SystemExit(f"unknown cell {spec!r}")
+            raise _unknown_cell(spec)
         cells.append({"controller": controller, "workload": workload,
                       "weather": weather})
     return cells
@@ -198,7 +222,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
     golden_dir = args.golden_dir or golden.DEFAULT_GOLDEN_DIR
     cells = _parse_cells(args.cell)
-    count = len(cells) if cells else len(golden.matrix_cells())
+    count = len(cells) if cells else len(golden.all_cells())
     if args.sweep_hours is not None:
         return _run_sweep(args, cells, count)
     if args.refresh:
@@ -326,6 +350,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         duration_s=duration_s,
         stride=args.stride,
         compare=args.compare,
+        scenario=args.scenario,
     )
     markdown = render_markdown(report)
     if args.out:
@@ -428,6 +453,37 @@ def _cmd_fleet_mc(args: argparse.Namespace) -> int:
     print(f"Monte Carlo provisioning — {args.samples} sample(s)/config, "
           f"backend {args.backend}")
     print(format_monte_carlo(points))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import (
+        build_policies,
+        get_scenario,
+        run_scenario_cell,
+        scenario_names,
+        scenario_seed,
+    )
+
+    if not args.name:
+        print("available scenarios:")
+        for name in scenario_names():
+            spec = get_scenario(name)
+            print(f"\n[{name}]  {spec.controller} / {spec.workload} / "
+                  f"{spec.weather}")
+            print(f"  {spec.description}")
+            for policy in build_policies(name, scenario_seed(name)):
+                print(f"  - {policy.describe()}")
+        return 0
+    try:
+        spec = get_scenario(args.name)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    summary = run_scenario_cell(args.name, use_cache=not args.no_cache)
+    print(f"scenario {args.name} — {spec.controller} / {spec.workload} / "
+          f"{spec.weather} (seed {scenario_seed(args.name)})")
+    print("-" * 44)
+    _print_summary(summary)
     return 0
 
 
@@ -558,6 +614,11 @@ def build_parser() -> argparse.ArgumentParser:
                               choices=("insure", "baseline"),
                               help="also fly this controller on the same "
                                    "seed/trace and include the comparison")
+    report_run_p.add_argument("--scenario", default=None, metavar="NAME",
+                              help="fly a policy scenario instead (overrides "
+                                   "controller/workload/solar/seed; with "
+                                   "--compare, the comparison flies without "
+                                   "the policy overlays)")
     report_run_p.add_argument("--out", default=None, metavar="DIR",
                               help="write flight_report.md plus the raw "
                                    "observability artifacts into DIR "
@@ -605,6 +666,17 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_mc.add_argument("--no-cache", action="store_true",
                           help="bypass the on-disk run cache")
     fleet_mc.set_defaults(func=_cmd_fleet_mc)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run a policy scenario cell (carbon/price-aware overlays)",
+    )
+    scenario.add_argument("name", nargs="?", default=None,
+                          help="scenario name (omit to list scenarios and "
+                               "their policies)")
+    scenario.add_argument("--no-cache", action="store_true",
+                          help="bypass the on-disk run cache")
+    scenario.set_defaults(func=_cmd_scenario)
 
     plan = sub.add_parser("plan", help="in-situ vs cloud deployment economics")
     plan.add_argument("--gb-per-day", type=float, required=True)

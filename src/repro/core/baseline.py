@@ -97,6 +97,9 @@ class BaselineController(PowerManager):
             self.telemetry.plc.step(clock)
             self.telemetry.refresh(clock.dt)
             self._update_solar_ema(clock.dt)
+        # Policy overlays step every tick on their own intervals; they
+        # must not be gated by the baseline's control interval.
+        self._step_policies(clock)
         self._elapsed += clock.dt
         if self._elapsed < self.params.control_interval_s:
             return

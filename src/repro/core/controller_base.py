@@ -88,6 +88,23 @@ class PowerManager(Component):
         #: never feed back into control decisions.
         self.decisions = NULL_DECISIONS
         self.tracer = NULL_TRACER
+        #: Attached :class:`repro.policy.policy.Policy` overlays, stepped
+        #: once per tick after the controller's own logic.  Empty by
+        #: default — an empty list adds zero float operations, so runs
+        #: without policies stay bit-identical to the pre-policy code.
+        self.policies: list = []
+
+    # ------------------------------------------------------------------
+    # Policy overlays (repro.policy)
+    # ------------------------------------------------------------------
+    def attach_policy(self, policy, charger=None) -> None:
+        """Bind a policy overlay to this manager and start stepping it."""
+        policy.bind(self, charger)
+        self.policies.append(policy)
+
+    def _step_policies(self, clock: Clock) -> None:
+        for policy in self.policies:
+            policy.step(clock.t, clock.dt)
 
     # ------------------------------------------------------------------
     # Sensing helpers

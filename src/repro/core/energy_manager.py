@@ -119,6 +119,10 @@ class InsureController(PowerManager):
             with tracer.span("controller.decide.spm"):
                 self._spatial_period(clock)
 
+        # Policy overlays (carbon/price/SoC caps) run last so their
+        # limits bound whatever the TPM/SPM periods just decided.
+        self._step_policies(clock)
+
     # ------------------------------------------------------------------
     # TPM (fine-grained)
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.sensing import BatterySense
+from repro.policy.governors import BudgetRampGovernor
 
 
 @dataclass
@@ -57,12 +58,22 @@ class SpatialDecision:
 
 
 class SpatialPolicy:
-    """Stateful SPM: tracks the unused budget carry-over D_U."""
+    """Stateful SPM: tracks the unused budget carry-over D_U.
+
+    Eq. 1's prorated term is a
+    :class:`~repro.policy.governors.BudgetRampGovernor` over elapsed
+    time; only the carried-over unused budget and the elastic bonus are
+    SPM state.  The composed expression keeps the monolith's exact float
+    association order, so the golden digests are unchanged.
+    """
 
     def __init__(self, params: SpatialParams | None = None) -> None:
         self.params = params or SpatialParams()
         self.unused_budget_ah = 0.0
         self._elastic_bonus = 0.0
+        self.budget_governor = BudgetRampGovernor(
+            self.params.lifetime_ah, self.params.design_life_days
+        )
 
     # ------------------------------------------------------------------
     # Eq. 1
@@ -71,14 +82,12 @@ class SpatialPolicy:
         """delta_D = D_U + D_L * T / T_L, plus any elastic relaxation."""
         if elapsed_seconds < 0:
             raise ValueError("elapsed_seconds must be non-negative")
-        p = self.params
-        prorated = p.lifetime_ah * (elapsed_seconds / 86400.0) / p.design_life_days
+        prorated = self.budget_governor.limit(elapsed_seconds)
         return self.unused_budget_ah + prorated + self._elastic_bonus
 
     def daily_budget_ah(self) -> float:
         """One day's worth of lifetime discharge budget."""
-        p = self.params
-        return p.lifetime_ah / p.design_life_days
+        return self.budget_governor.daily()
 
     # ------------------------------------------------------------------
     # Figure 10

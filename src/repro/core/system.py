@@ -158,6 +158,7 @@ def build_system(
     invariant_stride: int = 12,
     faults: Sequence | None = None,
     observability: Observability | bool | None = None,
+    policies: Sequence | None = None,
 ) -> InSituSystem:
     """Assemble a complete in-situ installation around a solar day trace.
 
@@ -204,6 +205,12 @@ def build_system(
         builds a default bundle.  Off by default; the instruments only
         read plant state and time the loop, so attaching them never
         changes a run's trajectory (same-seed traces stay bit-identical).
+    policies:
+        :class:`~repro.policy.policy.Policy` overlays (signal × governor ×
+        control method) attached to the controller and stepped every tick
+        on their own evaluation intervals — e.g. a scenario from
+        :mod:`repro.experiments.scenarios`.  None/empty attaches nothing
+        and leaves the run bit-identical to an unpolicied one.
     """
     if source is None:
         if trace is None:
@@ -253,6 +260,9 @@ def build_system(
         )
     else:
         raise ValueError(f"unknown controller {controller!r}")
+
+    for policy in policies or ():
+        manager.attach_policy(policy, charger=bus.charger)
 
     if storage_gb is not None:
         from repro.cluster.storage import StorageArray

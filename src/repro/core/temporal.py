@@ -14,6 +14,9 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.policy.controls import nudge_duty, nudge_vm_target
+from repro.policy.governors import ConstGovernor
+
 
 class TemporalAction(enum.Enum):
     """What the TPM asks the load side to do this period."""
@@ -52,7 +55,17 @@ class TemporalDecision:
 
 
 class TemporalPolicy:
-    """Stateless TPM evaluation (actuation lives in the controller)."""
+    """Stateless TPM evaluation (actuation lives in the controller).
+
+    Composed from :mod:`repro.policy` primitives: the per-cabinet
+    discharge cap is a :class:`~repro.policy.governors.ConstGovernor`
+    holding ``cap_c_rate * capacity_ah`` amps, and the duty/VM actuation
+    steps are the shared :func:`~repro.policy.controls.nudge_duty` /
+    :func:`~repro.policy.controls.nudge_vm_target` primitives.  The
+    composition reproduces the original monolith's float expressions
+    exactly (same products, same association order), which the golden
+    matrix pins bit-for-bit.
+    """
 
     def __init__(self, params: TemporalParams | None = None,
                  capacity_ah: float = 35.0) -> None:
@@ -60,10 +73,15 @@ class TemporalPolicy:
         if capacity_ah <= 0:
             raise ValueError("capacity_ah must be positive")
         self.capacity_ah = capacity_ah
+        #: Per-cabinet discharge-current cap in amps (the governor half
+        #: of Figure 11's current rule; signal-independent).
+        self.cap_governor = ConstGovernor(
+            self.params.cap_c_rate * self.capacity_ah
+        )
 
     def cap_amps(self, online_units: int) -> float:
         """Total safe discharge current for ``online_units`` cabinets."""
-        return self.params.cap_c_rate * self.capacity_ah * max(online_units, 0)
+        return self.cap_governor.limit() * max(online_units, 0)
 
     def evaluate(
         self,
@@ -110,20 +128,21 @@ class TemporalPolicy:
     # ------------------------------------------------------------------
     # Actuation helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _direction(action: TemporalAction) -> int:
+        if action is TemporalAction.CAP:
+            return -1
+        if action is TemporalAction.RELAX:
+            return 1
+        return 0
+
     def next_duty(self, duty: float, action: TemporalAction) -> float:
         """Duty-cycle actuation for batch jobs (D_last +/- 1 in Fig. 11)."""
         p = self.params
-        if action is TemporalAction.CAP:
-            return max(p.duty_min, round(duty - p.duty_step, 3))
-        if action is TemporalAction.RELAX:
-            return min(1.0, round(duty + p.duty_step, 3))
-        return duty
+        return nudge_duty(duty, self._direction(action), p.duty_step,
+                          floor=p.duty_min)
 
     def next_vm_target(self, target: int, preferred: int, action: TemporalAction) -> int:
         """VM-count actuation for stream jobs (N_vm +/- 1 in Fig. 11)."""
-        p = self.params
-        if action is TemporalAction.CAP:
-            return max(0, target - p.vm_step)
-        if action is TemporalAction.RELAX:
-            return min(preferred, target + p.vm_step)
-        return target
+        return nudge_vm_target(target, self._direction(action),
+                               self.params.vm_step, preferred)

@@ -100,6 +100,39 @@ def _spec_provisioning(cell: Mapping[str, Any]) -> tuple[SiteSpec, dict]:
     return spec, key_params
 
 
+def _spec_scenario(cell: Mapping[str, Any]) -> tuple[SiteSpec, dict]:
+    """repro.experiments.scenarios.run_scenario_cell."""
+    from repro.experiments.scenarios import get_scenario, scenario_seed
+    from repro.solar.traces import make_day_trace
+
+    scenario = cell["scenario"]
+    try:
+        spec = get_scenario(scenario)
+    except ValueError as exc:
+        raise FleetUnsupported(str(exc)) from None
+    seed = cell.get("seed")
+    if seed is None:
+        seed = scenario_seed(scenario)
+    initial_soc = cell.get("initial_soc", 0.55)
+    dt = cell.get("dt", 5.0)
+    target_mean_w = cell.get("target_mean_w", 800.0)
+    trace = make_day_trace(spec.weather, dt_seconds=dt, seed=seed,
+                           target_mean_w=target_mean_w)
+    site = SiteSpec(
+        controller=spec.controller,
+        workload=spec.workload,
+        seed=seed,
+        initial_soc=initial_soc,
+        trace_power_w=tuple(trace.power_w),
+        trace_dt_s=dt,
+        dt_s=dt,
+        scenario=scenario,
+    )
+    key_params = dict(scenario=scenario, seed=seed, initial_soc=initial_soc,
+                      dt=dt, target_mean_w=target_mean_w)
+    return site, key_params
+
+
 #: Dotted cell-function name -> (cache namespace, spec builder).
 _ADAPTERS: dict[str, tuple[str, Callable[[Mapping[str, Any]],
                                          tuple[SiteSpec, dict]]]] = {
@@ -109,6 +142,8 @@ _ADAPTERS: dict[str, tuple[str, Callable[[Mapping[str, Any]],
         ("fleet.table6.cell", _spec_table6),
     "repro.experiments.provisioning.run_provisioning_cell":
         ("fleet.provisioning.cell", _spec_provisioning),
+    "repro.experiments.scenarios.run_scenario_cell":
+        ("fleet.scenarios.cell", _spec_scenario),
 }
 
 

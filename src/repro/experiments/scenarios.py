@@ -1,0 +1,226 @@
+"""Policy scenario cells: sustainability overlays on the golden plant.
+
+Each scenario pins one (controller, workload, weather) plant configuration
+and attaches a set of :class:`repro.policy.policy.Policy` overlays — the
+signal × governor × control-method compositions of :mod:`repro.policy` —
+turning the paper's solar-only installation into a grid-aware one:
+
+* ``carbon-chasing`` — a step governor over the synthetic grid carbon
+  intensity caps the rack DVFS duty cycle when the grid runs dirty, so
+  compute concentrates in the low-carbon midday window.
+* ``price-arbitrage`` — a linear governor over the synthetic day-ahead
+  energy price ramps the VM target down as the price climbs through the
+  morning and evening demand peaks.
+* ``grid-hybrid`` — a carbon zone table caps duty *and* a price staircase
+  caps the solar charge current (high-price surplus is exported rather
+  than stored), the grid-assisted hybrid of the two.
+
+Scenarios are deterministic cells exactly like the golden matrix: the
+seed derives from the scenario name, the synthetic signals are pure
+functions of (seed, t), and ``repro validate`` pins their trace digests
+alongside the 12 matrix cells.  :func:`run_scenario_cell` is the
+picklable experiment entry point (memoised in the run cache, fleet
+adapter in :mod:`repro.experiments.adapters`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import derive_seed
+from repro.policy.policy import Policy
+from repro.policy.registry import make_control, make_governor, make_signal
+from repro.telemetry.metrics import RunSummary
+
+#: Scenario cells share the golden matrix's run configuration.
+BASE_SEED = 1
+TARGET_MEAN_W = 800.0
+INITIAL_SOC = 0.55
+DT_SECONDS = 5.0
+
+
+@dataclass(frozen=True)
+class PolicyDef:
+    """One policy of a scenario, as registry names + a governor rule."""
+
+    name: str
+    signal: str
+    governor: str
+    control: str
+    interval_s: float = 300.0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A pinned plant configuration plus its policy overlays."""
+
+    name: str
+    controller: str
+    workload: str
+    weather: str
+    policies: tuple[PolicyDef, ...]
+    description: str
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            name="carbon-chasing",
+            controller="insure",
+            workload="seismic",
+            weather="sunny",
+            policies=(
+                PolicyDef(
+                    name="carbon-duty",
+                    signal="carbon",
+                    governor="step:420=80%:560=60%",
+                    control="duty_cap",
+                ),
+            ),
+            description=(
+                "Cap the DVFS duty cycle when grid carbon intensity runs "
+                "above its daily mean; batch compute chases the clean "
+                "midday window."
+            ),
+        ),
+        ScenarioSpec(
+            name="price-arbitrage",
+            controller="insure",
+            workload="video",
+            weather="sunny",
+            policies=(
+                PolicyDef(
+                    name="price-vms",
+                    signal="price",
+                    governor="linear:20:48:max:40%",
+                    control="vm_retarget",
+                ),
+            ),
+            description=(
+                "Ramp the VM target down as the day-ahead energy price "
+                "climbs through the morning and evening demand peaks."
+            ),
+        ),
+        ScenarioSpec(
+            name="grid-hybrid",
+            controller="insure",
+            workload="seismic",
+            weather="cloudy",
+            policies=(
+                PolicyDef(
+                    name="carbon-duty",
+                    signal="carbon",
+                    governor="list:green=max:yellow=90%:red=70%:black=50%",
+                    control="duty_cap",
+                ),
+                PolicyDef(
+                    name="price-charge",
+                    signal="price",
+                    governor="step:30=70%:45=40%",
+                    control="charge_current_cap",
+                    interval_s=900.0,
+                ),
+            ),
+            description=(
+                "Grid-assisted hybrid: carbon zones cap compute duty while "
+                "expensive-hour solar surplus is exported instead of "
+                "stored (charge-current cap)."
+            ),
+        ),
+    )
+}
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; known: {scenario_names()}"
+        ) from None
+
+
+def scenario_seed(name: str) -> int:
+    """The pinned per-scenario seed (golden cells and fleet use the same)."""
+    get_scenario(name)
+    return derive_seed(BASE_SEED, "scenario", name)
+
+
+def build_policy(pdef: PolicyDef, seed: int) -> Policy:
+    """Instantiate one policy definition for a concrete site seed."""
+    return Policy(
+        name=pdef.name,
+        signal=make_signal(pdef.signal, seed=seed),
+        governor=make_governor(pdef.governor),
+        control=make_control(pdef.control),
+        interval_s=pdef.interval_s,
+    )
+
+
+def build_policies(name: str, seed: int) -> list[Policy]:
+    """Instantiate every policy of scenario ``name`` for ``seed``."""
+    return [build_policy(pdef, seed) for pdef in get_scenario(name).policies]
+
+
+def run_scenario_cell(
+    scenario: str,
+    seed: int | None = None,
+    initial_soc: float = INITIAL_SOC,
+    dt: float = DT_SECONDS,
+    target_mean_w: float = TARGET_MEAN_W,
+    use_cache: bool = True,
+) -> RunSummary:
+    """One deterministic scenario run, memoised in the run cache.
+
+    Module-level and picklable, so the runner can fan scenario sweeps out
+    across processes; the fleet backend routes it through its own adapter
+    (``fleet.scenarios.cell`` cache namespace).
+    """
+    from repro.core.system import build_system
+    from repro.sim.cache import (
+        cache_key,
+        default_cache,
+        summary_from_payload,
+        summary_to_payload,
+    )
+    from repro.solar.traces import make_day_trace
+    from repro.validate.golden import _make_workload
+
+    spec = get_scenario(scenario)
+    if seed is None:
+        seed = scenario_seed(scenario)
+    cache = default_cache() if use_cache else None
+    key = None
+    if cache is not None and cache.enabled:
+        key = cache_key(
+            "scenarios.run_scenario_cell",
+            scenario=scenario,
+            seed=seed,
+            initial_soc=initial_soc,
+            dt=dt,
+            target_mean_w=target_mean_w,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return summary_from_payload(cached)
+
+    trace = make_day_trace(spec.weather, dt_seconds=dt, seed=seed,
+                           target_mean_w=target_mean_w)
+    system = build_system(
+        trace,
+        _make_workload(spec.workload),
+        controller=spec.controller,
+        seed=seed,
+        initial_soc=initial_soc,
+        dt=dt,
+        policies=build_policies(scenario, seed),
+    )
+    summary = system.run()
+    if cache is not None and key is not None:
+        cache.put(key, summary_to_payload(summary))
+    return summary

@@ -32,6 +32,10 @@ KNOWN_KINDS = (
     "load.checkpoint_stop",
     "load.restart",
     "power.shed",
+    # Policy overlays (repro.policy); limit evaluations plus the
+    # charge-current knob only they turn.
+    "policy.limit",
+    "charge.current_cap",
     # Streaming alert engine (repro.obs.alerts); payload carries
     # severity, message and per-rule data.
     "alert.soc_droop",

@@ -1,0 +1,74 @@
+"""Pluggable power-scaling policies: governors × control methods.
+
+EcoFreq's decomposition (SNIPPETS.md §1) applied to the in-situ system:
+a :class:`~repro.policy.governors.Governor` converts an input signal
+(battery SoC, solar forecast, synthetic carbon intensity or energy
+price) to a capacity limit, a
+:class:`~repro.policy.controls.ControlMethod` applies it (DVFS duty cap,
+VM retarget, checkpoint shed, charge-current cap), and a
+:class:`~repro.policy.policy.Policy` pairs the two behind one signal
+provider and steps them on an interval.  The paper's own SPM/TPM
+controllers are compositions of the same pieces — see
+``repro.core.temporal`` / ``repro.core.spatial`` — verified bit-exact
+against the pinned golden matrix.
+"""
+
+from repro.policy.controls import (
+    ChargeCurrentCapControl,
+    CheckpointShedControl,
+    ControlMethod,
+    DutyCapControl,
+    VmRetargetControl,
+)
+from repro.policy.governors import (
+    BudgetRampGovernor,
+    ConstGovernor,
+    Governor,
+    LinearGovernor,
+    ListGovernor,
+    StepGovernor,
+    parse_governor,
+)
+from repro.policy.policy import Policy
+from repro.policy.registry import (
+    make_control,
+    make_governor,
+    make_signal,
+    register_control,
+    register_governor_rule,
+    register_signal,
+)
+from repro.policy.signals import (
+    BatterySocSignal,
+    CarbonIntensitySignal,
+    EnergyPriceSignal,
+    SignalProvider,
+    SolarForecastSignal,
+)
+
+__all__ = [
+    "BatterySocSignal",
+    "BudgetRampGovernor",
+    "CarbonIntensitySignal",
+    "ChargeCurrentCapControl",
+    "CheckpointShedControl",
+    "ConstGovernor",
+    "ControlMethod",
+    "DutyCapControl",
+    "EnergyPriceSignal",
+    "Governor",
+    "LinearGovernor",
+    "ListGovernor",
+    "Policy",
+    "SignalProvider",
+    "SolarForecastSignal",
+    "StepGovernor",
+    "VmRetargetControl",
+    "make_control",
+    "make_governor",
+    "make_signal",
+    "parse_governor",
+    "register_control",
+    "register_governor_rule",
+    "register_signal",
+]

@@ -81,6 +81,9 @@ class SiteSpec:
     server_count: int = 4
     dt_s: float = 5.0
     duration_s: float | None = None
+    #: Policy scenario overlay (a name from
+    #: :mod:`repro.experiments.scenarios`); None runs the bare controller.
+    scenario: str | None = None
 
     def resolved_duration_s(self) -> float:
         if self.duration_s is not None:
@@ -103,6 +106,36 @@ def _check_supported(spec: SiteSpec) -> None:
         raise FleetUnsupported("dt below the PLC scan period is not batchable")
     if spec.battery_count < 1 or spec.server_count < 1:
         raise FleetUnsupported("degenerate bank or rack")
+    if spec.scenario is not None:
+        _check_scenario_supported(spec.scenario)
+
+
+#: Control methods the batch kernel can apply as masked array ops.
+_FLEET_CONTROLS = frozenset({"duty_cap", "vm_retarget", "charge_current_cap"})
+
+
+def _check_scenario_supported(scenario: str) -> None:
+    """A scenario batches iff its signals are pure functions of time and
+    its controls have an array port; anything else (plant-coupled signals
+    like SoC/solar-forecast, checkpoint shedding) falls back to scalar."""
+    from repro.experiments.scenarios import get_scenario
+    from repro.policy.registry import make_signal
+    from repro.policy.signals import DiurnalSignal
+
+    try:
+        spec = get_scenario(scenario)
+    except ValueError as exc:
+        raise FleetUnsupported(str(exc)) from None
+    for pdef in spec.policies:
+        if pdef.control not in _FLEET_CONTROLS:
+            raise FleetUnsupported(
+                f"policy control {pdef.control!r} not batchable"
+            )
+        if not isinstance(make_signal(pdef.signal), DiurnalSignal):
+            raise FleetUnsupported(
+                f"policy signal {pdef.signal!r} reads plant state; "
+                "not batchable"
+            )
 
 
 def simulate_fleet(specs: Sequence[SiteSpec]) -> list[dict]:
@@ -126,6 +159,7 @@ def simulate_fleet(specs: Sequence[SiteSpec]) -> list[dict]:
             spec.server_count,
             spec.dt_s,
             spec.steps(),
+            spec.scenario,
         )
         groups.setdefault(key, []).append(index)
     out: list[dict | None] = [None] * len(specs)
@@ -162,6 +196,7 @@ class _FleetBatch:
         self._init_controller()
         self._init_workload()
         self._init_metrics()
+        self._init_policies()
 
     # ------------------------------------------------------------------
     # Setup
@@ -398,6 +433,78 @@ class _FleetBatch:
         self.dl_miss = np.zeros(n, dtype=np.int64)
         self.crash_count = np.zeros(n, dtype=np.int64)
         self._since_ckpt = 0.0
+
+    def _init_policies(self) -> None:
+        """Policy scenario overlay (port of repro.policy.policy.Policy).
+
+        ``charge_cap`` always exists and defaults to 1.0 — the charger
+        multiplies the surplus by it, an IEEE identity, so scenario-free
+        batches stay bit-identical to the pre-policy kernel.  Each policy
+        column holds the *scalar* per-site signal and governor objects and
+        evaluates them at firing ticks: the limits carry the same libm
+        bits as the scalar path, so discrete decisions (zone edges, step
+        thresholds, duty quantisation) can never diverge between kernels.
+        """
+        self.charge_cap = np.ones(self.n, dtype=np.float64)
+        self.policy_columns: list[dict] = []
+        scenario = self.specs[0].scenario
+        if scenario is None:
+            return
+        from repro.experiments.scenarios import build_policies, get_scenario
+
+        sspec = get_scenario(scenario)
+        per_site = [build_policies(scenario, spec.seed) for spec in self.specs]
+        for j, pdef in enumerate(sspec.policies):
+            self.policy_columns.append({
+                "control": pdef.control,
+                "interval_s": pdef.interval_s,
+                # Same first-tick firing as Policy._elapsed = inf.
+                "elapsed": float("inf"),
+                "policies": [site[j] for site in per_site],
+            })
+
+    def _policy_step(self, k: int) -> None:
+        """Step each policy column on its own evaluation cadence.
+
+        Runs where the scalar managers step their overlays: after the
+        InSURE TPM/SPM pass, before the baseline's decide gate.  The
+        per-site evaluation loop only runs at firing ticks (hundreds of
+        seconds apart), so the batch stays vectorized where it matters.
+        """
+        for column in self.policy_columns:
+            column["elapsed"] += self.dt
+            if column["elapsed"] < column["interval_s"]:
+                continue
+            column["elapsed"] = 0.0
+            t = k * self.dt
+            limits = np.array(
+                [pol.governor.limit(pol.reading(t))
+                 for pol in column["policies"]],
+                dtype=np.float64,
+            )
+            clamped = np.minimum(np.maximum(limits, 0.0), 1.0)
+            control = column["control"]
+            if control == "duty_cap":
+                # quantize_duty + "only ever lowers" (DutyCapControl),
+                # floored at the one-quantum hardware minimum.
+                caps = np.maximum(
+                    np.floor(clamped * 10.0 + 1e-9).astype(np.int64), 1
+                )
+                self.duty_deci = np.minimum(self.duty_deci, caps)
+            elif control == "vm_retarget":
+                # VmRetargetControl: cap the preferred-VM fraction.
+                caps = np.minimum(
+                    self.preferred_vms,
+                    np.floor(
+                        clamped * self.preferred_vms + 1e-9
+                    ).astype(np.int64),
+                )
+                mask = self.vm_target > caps
+                self.vm_target = np.where(mask, caps, self.vm_target)
+                self._set_target(mask, caps)
+            else:  # charge_current_cap
+                # ChargeCurrentCapControl: same end state as set-if-changed.
+                self.charge_cap = clamped
 
     def _init_metrics(self) -> None:
         n = self.n
@@ -872,7 +979,9 @@ class _FleetBatch:
     ) -> np.ndarray:
         """SolarCharger.step: overhead gating + 4-round water-filling."""
         n, b = self.n, self.b
-        remaining = np.where(charge_sites, surplus * self.chg_eff, 0.0)
+        remaining = np.where(
+            charge_sites, (surplus * self.charge_cap) * self.chg_eff, 0.0
+        )
         n_charging = on_charge.sum(axis=1)
         payable = np.minimum(
             n_charging, (remaining // self.chg_overhead).astype(np.int64)
@@ -1078,7 +1187,9 @@ class _FleetBatch:
         self._update_ema(solar)
         if self.controller == "insure":
             controllers.insure_step(self, k)
+            self._policy_step(k)
         else:
+            self._policy_step(k)
             controllers.baseline_step(self, k)
         self._rack_step()
         self._plant_step(k, solar)

@@ -3,7 +3,8 @@
 The scalar chunked kernel is the bit-exact reference for the physics; the
 fleet kernel re-derives every expression in SoA form and is allowed only
 ulp-level drift.  :class:`FleetValidator` replays the 12 golden-matrix
-cells through :func:`repro.sim.fleet.kernel.simulate_fleet` and compares
+cells plus the policy scenario cells through
+:func:`repro.sim.fleet.kernel.simulate_fleet` and compares
 each run summary against the stored golden record using the same
 tolerance model as the physics-invariant checker (relative ``REL_TOL``
 with an absolute floor ``ABS_TOL``), applied to the 6-significant-digit
@@ -115,12 +116,23 @@ def spec_for_cell(
     weather: str,
     *,
     duration_s: float = DURATION_S,
+    scenario: str | None = None,
 ) -> SiteSpec:
-    """Build the SiteSpec matching one golden-matrix cell's configuration."""
+    """Build the SiteSpec matching one golden cell's configuration.
+
+    With ``scenario`` set, the seed derives from the scenario name (the
+    plant axes must already be the scenario's — use
+    :func:`scenario_cell_tuple`) and the kernel applies its policies.
+    """
     from repro.experiments.runner import derive_seed
     from repro.solar.traces import make_day_trace
 
-    seed = derive_seed(BASE_SEED, controller, workload, weather)
+    if scenario is not None:
+        from repro.experiments.scenarios import scenario_seed
+
+        seed = scenario_seed(scenario)
+    else:
+        seed = derive_seed(BASE_SEED, controller, workload, weather)
     trace = make_day_trace(
         weather, dt_seconds=DT_SECONDS, seed=seed, target_mean_w=TARGET_MEAN_W
     )
@@ -132,7 +144,16 @@ def spec_for_cell(
         trace_power_w=tuple(trace.power_w),
         trace_dt_s=DT_SECONDS,
         duration_s=duration_s,
+        scenario=scenario,
     )
+
+
+def scenario_cell_tuple(scenario: str) -> tuple[str, str, str, str]:
+    """The 4-tuple cell for a policy scenario (plant axes + scenario name)."""
+    from repro.experiments.scenarios import get_scenario
+
+    spec = get_scenario(scenario)
+    return (spec.controller, spec.workload, spec.weather, scenario)
 
 
 class FleetValidator:
@@ -147,25 +168,46 @@ class FleetValidator:
         self.golden_dir = Path(golden_dir) if golden_dir else DEFAULT_GOLDEN_DIR
 
     def cells(self) -> list[tuple[str, str, str]]:
+        """The 12 golden-matrix cells (scenario cells are separate — see
+        :meth:`scenario_cells` / :meth:`all_cells`)."""
         return [
             (cell["controller"], cell["workload"], cell["weather"])
             for cell in matrix_cells()
         ]
 
+    def scenario_cells(self) -> list[tuple[str, str, str, str]]:
+        """The policy scenario cells as 4-tuples (axes + scenario name)."""
+        from repro.experiments.scenarios import scenario_names
+
+        return [scenario_cell_tuple(name) for name in scenario_names()]
+
+    def all_cells(self) -> list[tuple]:
+        return list(self.cells()) + list(self.scenario_cells())
+
     def validate_cells(
-        self, cells: Sequence[tuple[str, str, str]] | None = None
+        self, cells: Sequence[tuple] | None = None
     ) -> list[CellVerdict]:
         """Run the fleet kernel over *cells* and compare against goldens.
 
-        All requested cells run in a single ``simulate_fleet`` batch so the
-        validator also exercises the mixed-group scatter path.
+        Cells are ``(controller, workload, weather)`` triples or
+        ``(controller, workload, weather, scenario)`` 4-tuples; the
+        default covers the matrix plus every scenario.  All requested
+        cells run in a single ``simulate_fleet`` batch so the validator
+        also exercises the mixed-group scatter path.
         """
-        todo = list(cells) if cells is not None else self.cells()
-        specs = [spec_for_cell(c, w, x) for (c, w, x) in todo]
+        from repro.validate.golden import scenario_cell_name
+
+        todo = [
+            (cell if len(cell) == 4 else (*cell, None)) for cell in
+            (list(cells) if cells is not None else self.all_cells())
+        ]
+        specs = [
+            spec_for_cell(c, w, x, scenario=sc) for (c, w, x, sc) in todo
+        ]
         summaries = simulate_fleet(specs)
         verdicts: list[CellVerdict] = []
-        for (c, w, x), summary in zip(todo, summaries):
-            name = cell_name(c, w, x)
+        for (c, w, x, sc), summary in zip(todo, summaries):
+            name = scenario_cell_name(sc) if sc else cell_name(c, w, x)
             record = load_record(name, self.golden_dir)
             verdicts.append(
                 compare_summaries(name, summary, record["summary"])
@@ -173,7 +215,7 @@ class FleetValidator:
         return verdicts
 
     def validate(
-        self, cells: Sequence[tuple[str, str, str]] | None = None
+        self, cells: Sequence[tuple] | None = None
     ) -> CellVerdict | None:
         """Return the first failing verdict, or None when every cell matches."""
         for verdict in self.validate_cells(cells):
@@ -182,7 +224,7 @@ class FleetValidator:
         return None
 
     def assert_valid(
-        self, cells: Sequence[tuple[str, str, str]] | None = None
+        self, cells: Sequence[tuple] | None = None
     ) -> None:
         """Raise AssertionError naming every mismatched variable."""
         failures = [v for v in self.validate_cells(cells) if not v.ok]

@@ -57,6 +57,9 @@ class FlightReport:
     obs: Observability
     ticks: int
     wall_s: float
+    #: Policy scenario flown, and the (stepped) policy overlays.
+    scenario: str | None = None
+    policies: list = None
     #: Optional comparison run on the same seed/trace.
     compare_controller: str | None = None
     compare_summary: RunSummary | None = None
@@ -64,7 +67,10 @@ class FlightReport:
 
     @property
     def title(self) -> str:
-        return f"{self.controller} / {self.workload} / {self.weather}"
+        base = f"{self.controller} / {self.workload} / {self.weather}"
+        if self.scenario:
+            return f"{base} [{self.scenario}]"
+        return base
 
     @property
     def ledger_edges(self) -> dict[str, float]:
@@ -77,13 +83,14 @@ class FlightReport:
 
 def _fly(controller: str, workload: str, weather: str, mean_w: float,
          seed: int, initial_soc: float, dt: float,
-         duration_s: float | None, stride: int):
+         duration_s: float | None, stride: int, policies=None):
     trace = make_day_trace(weather, dt_seconds=dt, seed=seed,
                            target_mean_w=mean_w)
     obs = Observability(trace_stride=stride)
     system = build_system(trace, _make_workload(workload),
                           controller=controller, seed=seed,
-                          initial_soc=initial_soc, dt=dt, observability=obs)
+                          initial_soc=initial_soc, dt=dt, observability=obs,
+                          policies=policies)
     t0 = time.perf_counter()
     summary = system.run(duration_s)
     wall_s = time.perf_counter() - t0
@@ -101,19 +108,41 @@ def run_flight(
     duration_s: float | None = None,
     stride: int = 16,
     compare: str | None = None,
+    scenario: str | None = None,
 ) -> FlightReport:
     """Fly one instrumented cell (and optionally a comparison controller
-    over the identical trace and seed) and collect the flight report."""
+    over the identical trace and seed) and collect the flight report.
+
+    ``scenario`` flies a policy scenario instead: the controller, workload,
+    weather and seed come from its pinned spec, its policy overlays are
+    attached, and the report grows a Policies section.  The comparison run
+    (if any) flies *without* overlays — it shows what the plain controller
+    would have done on the identical trace.
+    """
+    policies = None
+    if scenario is not None:
+        from repro.experiments.scenarios import (
+            build_policies,
+            get_scenario,
+            scenario_seed,
+        )
+
+        spec = get_scenario(scenario)
+        controller = spec.controller
+        workload = spec.workload
+        weather = spec.weather
+        seed = scenario_seed(scenario)
+        policies = build_policies(scenario, seed)
     summary, obs, ticks, wall_s = _fly(controller, workload, weather, mean_w,
                                        seed, initial_soc, dt, duration_s,
-                                       stride)
+                                       stride, policies=policies)
     report = FlightReport(
         controller=controller, workload=workload, weather=weather,
         mean_w=mean_w, seed=seed, summary=summary, obs=obs,
-        ticks=ticks, wall_s=wall_s,
+        ticks=ticks, wall_s=wall_s, scenario=scenario, policies=policies,
     )
     if compare is not None:
-        if compare == controller:
+        if compare == controller and scenario is None:
             raise ValueError(
                 f"--compare controller must differ from {controller!r}"
             )
@@ -181,6 +210,20 @@ def render_markdown(report: FlightReport) -> str:
         f"({report.ticks} ticks in {report.wall_s:.2f} s wall).",
         "",
         _summary_body(report.summary, report.title),
+    ]
+    if report.policies:
+        lines += ["## Policies", ""]
+        lines += ["| policy | composition | evaluations | last limit |",
+                  "|---|---|---|---|"]
+        for policy in report.policies:
+            last = policy._last_limit
+            lines.append(
+                f"| {policy.name} | {policy.describe()} | "
+                f"{policy.evaluations} | "
+                f"{'—' if last is None else f'{last:.3f}'} |"
+            )
+        lines.append("")
+    lines += [
         "## Energy ledger",
         "",
         "| flow edge | energy | share of harvest |",

@@ -66,6 +66,10 @@ def cell_name(controller: str, workload: str, weather: str) -> str:
     return f"{controller}-{workload}-{weather}"
 
 
+def scenario_cell_name(scenario: str) -> str:
+    return f"scenario-{scenario}"
+
+
 def matrix_cells() -> list[dict[str, str]]:
     """Keyword-argument cells for :func:`compute_cell`, in matrix order."""
     return [
@@ -74,6 +78,18 @@ def matrix_cells() -> list[dict[str, str]]:
         for workload in WORKLOADS
         for weather in WEATHERS
     ]
+
+
+def scenario_cells() -> list[dict[str, str]]:
+    """Keyword-argument cells for the policy scenario overlays."""
+    from repro.experiments.scenarios import scenario_names
+
+    return [{"scenario": name} for name in scenario_names()]
+
+
+def all_cells() -> list[dict[str, str]]:
+    """The full pinned set: the 12-cell matrix plus every scenario cell."""
+    return matrix_cells() + scenario_cells()
 
 
 def _make_workload(kind: str):
@@ -106,13 +122,43 @@ def trace_digests(recorder) -> dict[str, str]:
     }
 
 
+def _resolve_cell(
+    controller: str | None,
+    workload: str | None,
+    weather: str | None,
+    scenario: str | None,
+):
+    """Resolve a matrix or scenario cell into (name, plant axes, seed,
+    policies, extra-config).  Scenario cells pull their plant axes from the
+    :data:`~repro.experiments.scenarios.SCENARIOS` spec, derive their seed
+    from the scenario name, and attach its policy overlays; matrix cells
+    are unchanged (no policies, no extra config keys — the 12 pre-existing
+    records stay byte-identical)."""
+    if scenario is None:
+        seed = derive_seed(BASE_SEED, controller, workload, weather)
+        return (cell_name(controller, workload, weather),
+                controller, workload, weather, seed, None, {})
+    from repro.experiments.scenarios import (
+        build_policies,
+        get_scenario,
+        scenario_seed,
+    )
+
+    spec = get_scenario(scenario)
+    seed = scenario_seed(scenario)
+    return (scenario_cell_name(scenario), spec.controller, spec.workload,
+            spec.weather, seed, build_policies(scenario, seed),
+            {"scenario": scenario})
+
+
 def compute_cell(
-    controller: str,
-    workload: str,
-    weather: str,
+    controller: str | None = None,
+    workload: str | None = None,
+    weather: str | None = None,
     check_invariants: bool = True,
     stride: int = CHECK_STRIDE,
     duration_s: float = DURATION_S,
+    scenario: str | None = None,
 ) -> dict[str, Any]:
     """Run one golden cell and return its comparable record.
 
@@ -122,18 +168,24 @@ def compute_cell(
     which only a fresh simulation produces, and the checker must see every
     tick.  (Checker state also never feeds any cache key — see
     ``tests/validate/test_golden.py``.)
+
+    Give either the three matrix axes or ``scenario=`` (a name from
+    :mod:`repro.experiments.scenarios`), whose record is pinned under
+    ``scenario-<name>.json``.
     """
-    seed = derive_seed(BASE_SEED, controller, workload, weather)
+    (name, controller, workload, weather, seed, policies,
+     extra_config) = _resolve_cell(controller, workload, weather, scenario)
     trace = make_day_trace(weather, dt_seconds=DT_SECONDS, seed=seed,
                            target_mean_w=TARGET_MEAN_W)
     system = build_system(
         trace, _make_workload(workload), controller=controller, seed=seed,
         initial_soc=INITIAL_SOC, dt=DT_SECONDS,
         invariants=check_invariants, invariant_stride=stride,
+        policies=policies,
     )
     summary = system.run(duration_s)
     record: dict[str, Any] = {
-        "cell": cell_name(controller, workload, weather),
+        "cell": name,
         "config": {
             "controller": controller,
             "workload": workload,
@@ -143,6 +195,7 @@ def compute_cell(
             "initial_soc": INITIAL_SOC,
             "dt": DT_SECONDS,
             "duration_s": duration_s,
+            **extra_config,
         },
         "signals": trace_digests(system.recorder),
         "summary": summary_fingerprint(summary),
@@ -159,10 +212,11 @@ def compute_cell(
 
 
 def compute_ledger_cell(
-    controller: str,
-    workload: str,
-    weather: str,
+    controller: str | None = None,
+    workload: str | None = None,
+    weather: str | None = None,
     duration_s: float = DURATION_S,
+    scenario: str | None = None,
 ) -> dict[str, Any]:
     """Run one golden cell with full observability and account its energy.
 
@@ -177,17 +231,19 @@ def compute_ledger_cell(
 
     from repro.obs.hub import Observability
 
-    seed = derive_seed(BASE_SEED, controller, workload, weather)
+    (name, controller, workload, weather, seed, policies,
+     _extra) = _resolve_cell(controller, workload, weather, scenario)
     trace = make_day_trace(weather, dt_seconds=DT_SECONDS, seed=seed,
                            target_mean_w=TARGET_MEAN_W)
     obs = Observability()
     system = build_system(
         trace, _make_workload(workload), controller=controller, seed=seed,
         initial_soc=INITIAL_SOC, dt=DT_SECONDS, observability=obs,
+        policies=policies,
     )
     summary = system.run(duration_s)
     return {
-        "cell": cell_name(controller, workload, weather),
+        "cell": name,
         "signals": trace_digests(system.recorder),
         "summary_energy": {
             "solar_energy_kwh": summary.solar_energy_kwh,
@@ -206,9 +262,10 @@ def compute_matrix(
     cells: Sequence[Mapping[str, str]] | None = None,
     max_workers: int | None = None,
 ) -> dict[str, dict[str, Any]]:
-    """Compute records for ``cells`` (default: the full matrix), keyed by
-    cell name.  Fans out across processes via ``run_cells``."""
-    cells = list(cells) if cells is not None else matrix_cells()
+    """Compute records for ``cells`` (default: the full matrix plus the
+    scenario cells), keyed by cell name.  Fans out across processes via
+    ``run_cells``."""
+    cells = list(cells) if cells is not None else all_cells()
     records = run_cells(compute_cell, cells, max_workers=max_workers)
     return {record["cell"]: record for record in records}
 
@@ -318,7 +375,7 @@ def invariant_sweep(
     """
     sweep_cells = [
         dict(cell, duration_s=float(duration_s), stride=stride)
-        for cell in (list(cells) if cells is not None else matrix_cells())
+        for cell in (list(cells) if cells is not None else all_cells())
     ]
     records = run_cells(compute_cell, sweep_cells, max_workers=max_workers)
     return {record["cell"]: record["invariants"] for record in records}
