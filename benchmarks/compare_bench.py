@@ -76,6 +76,30 @@ def compare(baseline: dict, fresh: dict, max_slowdown: float) -> tuple[bool, str
     return True, "\n".join(lines)
 
 
+def render_markdown(
+    baseline: dict, fresh: dict, ok: bool, max_slowdown: float, title: str
+) -> str:
+    """The comparison as a Markdown section (for $GITHUB_STEP_SUMMARY)."""
+    lines = [
+        f"### {title}",
+        "",
+        "| metric | baseline | fresh | delta |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    for key in ("ticks_per_second", "cold_seconds", "cache_replay_seconds"):
+        if key not in baseline or key not in fresh:
+            continue
+        base_value = float(baseline[key])
+        fresh_value = float(fresh[key])
+        delta = (fresh_value - base_value) / base_value if base_value else 0.0
+        lines.append(
+            f"| `{key}` | {base_value:,.4g} | {fresh_value:,.4g} | {delta:+.1%} |"
+        )
+    verdict = "✅ within gate" if ok else "❌ **regression**"
+    lines += ["", f"{verdict} (allowed slowdown: {max_slowdown:.0%})", ""]
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path, help="committed benchmark JSON")
@@ -87,11 +111,28 @@ def main(argv: list[str] | None = None) -> int:
         help=f"allowed fractional throughput drop (default {DEFAULT_MAX_SLOWDOWN}, "
         f"or the {ENV_MAX_SLOWDOWN} env var)",
     )
-    args = parser.parse_args(argv)
-    ok, report = compare(
-        load_bench(args.baseline), load_bench(args.fresh), args.max_slowdown
+    parser.add_argument(
+        "--markdown-out",
+        type=Path,
+        default=None,
+        help="append the comparison as a Markdown section to this file "
+        "(point it at $GITHUB_STEP_SUMMARY in CI)",
     )
+    parser.add_argument(
+        "--title",
+        default=None,
+        help="Markdown section heading (default: the fresh file's stem)",
+    )
+    args = parser.parse_args(argv)
+    baseline = load_bench(args.baseline)
+    fresh = load_bench(args.fresh)
+    ok, report = compare(baseline, fresh, args.max_slowdown)
     print(report)
+    if args.markdown_out is not None:
+        title = args.title or f"bench: {args.fresh.stem}"
+        with args.markdown_out.open("a", encoding="utf-8") as fh:
+            fh.write(render_markdown(baseline, fresh, ok, args.max_slowdown, title))
+            fh.write("\n")
     return 0 if ok else 1
 
 

@@ -1,0 +1,100 @@
+"""Talk to a running serve daemon: create, stream, inject, summarize.
+
+Boots nothing itself — start the daemon first::
+
+    python -m repro serve --port 8737
+
+then::
+
+    python examples/serve_client.py [port]
+
+The script creates a short session with a carbon-aware duty-cap policy,
+follows its Server-Sent-Events stream, injects a governor swap mid-run,
+and prints the final summary with the decision counts showing the
+injection in the record.  See docs/serving.md for the full manifest
+schema and endpoint catalogue.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+
+from repro.serve.client import ServeClient
+
+MANIFEST = {
+    "controller": "insure",
+    "workload": "seismic",
+    "weather": "cloudy",
+    "seed": 11,
+    "duration_s": 2 * 3600.0,       # two sim-hours
+    "tick_slice": 120,              # cooperative slice: 10 sim-minutes
+    "policies": [
+        {
+            "name": "carbon-duty",
+            "signal": "carbon",
+            "governor": "step:420=80%:560=60%",
+            "control": "duty_cap",
+            "interval_s": 300.0,
+        }
+    ],
+}
+
+
+def main() -> int:
+    port = int(sys.argv[1]) if len(sys.argv) > 1 else 8737
+    client = ServeClient(port=port)
+    try:
+        client.wait_ready(timeout=3.0)
+    except TimeoutError:
+        print(f"no daemon on port {port}; start one with: "
+              f"python -m repro serve --port {port}")
+        return 1
+
+    info = client.create_session(MANIFEST)
+    sid = info["session"]
+    print(f"session {sid}: {info['total_ticks']} ticks\n")
+
+    # Stream in a thread so the main thread can steer mid-run.
+    def follow() -> None:
+        for event in client.stream(sid):
+            if event.event in ("hello", "state", "decision", "alert",
+                               "summary", "end"):
+                payload = json.loads(event.data)
+                if event.event == "decision":
+                    print(f"  [{event.id:4d}] {payload['kind']:22s} "
+                          f"t={payload['t']:8.0f} from {payload['source']}")
+                else:
+                    print(f"  [{event.id:4d}] {event.event}")
+
+    follower = threading.Thread(target=follow)
+    follower.start()
+
+    # Mid-run steering: swap the governor to a flat 70% cap.
+    import time
+
+    while client.get_session(sid)["ticks_done"] == 0:
+        time.sleep(0.05)
+    ack = client.inject(sid, {"kind": "governor", "policy": "carbon-duty",
+                              "governor": "const:0.7"})
+    print(f"\ninjected governor swap at t={ack['t']:.0f}s -> "
+          f"{ack['governor']}\n")
+
+    follower.join(timeout=120)
+    summary = client.summary(sid)
+    print("\nfinal summary")
+    print("-" * 44)
+    print(f"closure ok      {summary['closure']['ok']}")
+    print(f"injected        {summary['injected']}")
+    print(f"uptime          {summary['summary']['uptime_fraction'] * 100:.1f} %")
+    print(f"processed       {summary['summary']['processed_gb']:.1f} GB")
+    print("decisions:")
+    for kind, count in sorted(summary["decision_counts"].items()):
+        print(f"  {kind:24s} {count}")
+    client.delete_session(sid)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -339,6 +339,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
         write_flight_report,
     )
 
+    if args.scenario is not None:
+        from repro.experiments.scenarios import scenario_names
+
+        if args.scenario not in scenario_names():
+            listing = "\n  ".join(scenario_names())
+            raise SystemExit(
+                f"unknown scenario {args.scenario!r}; available scenarios:\n"
+                f"  {listing}"
+            )
     duration_s = args.duration_h * 3600.0 if args.duration_h else None
     report = run_flight(
         controller=args.controller,
@@ -484,6 +493,24 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
           f"{spec.weather} (seed {scenario_seed(args.name)})")
     print("-" * 44)
     _print_summary(summary)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.daemon import ServeDaemon
+
+    daemon = ServeDaemon(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        max_buffered_events=args.max_buffered_events,
+    )
+    try:
+        asyncio.run(daemon.serve_forever())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
     return 0
 
 
@@ -677,6 +704,19 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--no-cache", action="store_true",
                           help="bypass the on-disk run cache")
     scenario.set_defaults(func=_cmd_scenario)
+
+    serve = sub.add_parser(
+        "serve",
+        help="boot the simulation-as-a-service daemon (SSE streaming)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8737,
+                       help="listen port (default 8737; 0 = ephemeral)")
+    serve.add_argument("--max-sessions", type=int, default=64,
+                       help="live-session capacity (default 64)")
+    serve.add_argument("--max-buffered-events", type=int, default=4096,
+                       help="per-session SSE replay buffer (default 4096)")
+    serve.set_defaults(func=_cmd_serve)
 
     plan = sub.add_parser("plan", help="in-situ vs cloud deployment economics")
     plan.add_argument("--gb-per-day", type=float, required=True)

@@ -125,14 +125,60 @@ class InSituSystem:
     #: Observability bundle; None unless built with ``observability=...``.
     obs: Observability | None = None
 
+    # Sliced-run bookkeeping (plain class attributes, not dataclass
+    # fields; rebound per instance by begin_run).
+    _total_steps = 0
+    _steps_done = 0
+
     def run(self, duration_s: float | None = None) -> RunSummary:
         """Run for ``duration_s`` (default: the trace length) and summarise."""
-        if duration_s is None:
-            trace = getattr(self.source, "trace", None)
-            if trace is None:
-                raise ValueError("duration_s is required for non-trace sources")
-            duration_s = trace.duration_s
-        self.engine.run(duration_s)
+        self.engine.run(self._resolve_duration(duration_s))
+        return self.metrics.summary()
+
+    def _resolve_duration(self, duration_s: float | None) -> float:
+        if duration_s is not None:
+            return duration_s
+        trace = getattr(self.source, "trace", None)
+        if trace is None:
+            raise ValueError("duration_s is required for non-trace sources")
+        return trace.duration_s
+
+    # ------------------------------------------------------------------
+    # Sliced (non-blocking) stepping — the serve daemon's face
+    # ------------------------------------------------------------------
+    def begin_run(self, duration_s: float | None = None) -> int:
+        """Open a cooperative run; returns its total tick count.
+
+        ``begin_run`` + repeated :meth:`advance` + :meth:`finalize` is
+        bit-identical to one :meth:`run` call: the engine's sliced kernel
+        takes the same sequence of component steps, so a hosted session
+        reproduces the pinned golden summaries exactly.
+        """
+        self._total_steps = self.engine.begin(self._resolve_duration(duration_s))
+        self._steps_done = 0
+        return self._total_steps
+
+    @property
+    def remaining_steps(self) -> int:
+        """Ticks left in the run opened by :meth:`begin_run` (0 = done)."""
+        return self._total_steps - self._steps_done
+
+    def advance(self, ticks: int) -> int:
+        """Step up to ``ticks`` ticks of the open run; returns the count
+        executed.  A shortfall means a stop condition ended the run — the
+        remaining budget is cancelled so ``remaining_steps`` drops to 0."""
+        budget = min(int(ticks), self.remaining_steps)
+        if budget <= 0:
+            return 0
+        executed = self.engine.advance(budget)
+        self._steps_done += executed
+        if executed < budget:  # early stop: nothing left to run
+            self._steps_done = self._total_steps
+        return executed
+
+    def finalize(self) -> RunSummary:
+        """Fire the engine's finish hooks and summarise the run."""
+        self.engine.end()
         return self.metrics.summary()
 
 

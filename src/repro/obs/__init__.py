@@ -50,6 +50,7 @@ from repro.obs.registry import (
     reset_global_registry,
 )
 from repro.obs.spans import NULL_TRACER, NullTracer, SpanStats, SpanTracer
+from repro.obs.stream import DEFAULT_GAUGES, StreamTap
 
 __all__ = [
     "Alert",
@@ -75,6 +76,8 @@ __all__ = [
     "SocDroopRule",
     "SpanStats",
     "SpanTracer",
+    "StreamTap",
+    "DEFAULT_GAUGES",
     "SustainedCurtailmentRule",
     "WearImbalanceRule",
     "default_rules",

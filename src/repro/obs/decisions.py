@@ -44,6 +44,13 @@ KNOWN_KINDS = (
     "alert.lvd_proximity",
     "alert.checkpoint_storm",
     "alert.sustained_curtailment",
+    # Serve-daemon decision injections (repro.serve): external clients
+    # attaching a policy, forcing a limit through one, swapping a
+    # governor, or firing a raw control action mid-run.
+    "inject.policy",
+    "inject.limit",
+    "inject.governor",
+    "inject.control",
 )
 
 
@@ -103,6 +110,11 @@ class DecisionLog:
 
     def __iter__(self) -> Iterator[Decision]:
         return iter(self._decisions)
+
+    def since(self, index: int) -> list[Decision]:
+        """Decisions recorded at or after position ``index`` (a prior
+        ``len(log)``) — the streaming tap's incremental read."""
+        return self._decisions[index:]
 
     def of_kind(self, kind: str) -> list[Decision]:
         """Decisions whose kind equals or is prefixed by ``kind``."""

@@ -1,0 +1,204 @@
+"""Blocking stdlib client for the serve daemon.
+
+Used by the unit suite, the CI smoke driver and the examples; also a
+reference for how to talk to the daemon from outside Python (the wire
+format is plain HTTP + JSON + ``text/event-stream``, so ``curl`` works
+— see ``docs/serving.md``).
+
+The client is deliberately synchronous (``http.client``, no asyncio):
+the daemon serves from its own process/loop, and most callers — tests,
+CI drivers, notebooks — want simple call-and-return semantics plus a
+generator for the event stream.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from repro.serve.sse import SSEParser
+
+
+class ServeError(RuntimeError):
+    """Non-2xx response from the daemon."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+@dataclass(frozen=True)
+class SSEvent:
+    """One decoded server-sent event."""
+
+    id: int | None
+    event: str
+    data: str
+
+    @property
+    def payload(self) -> Any:
+        """The event's JSON payload (None when data is empty)."""
+        return json.loads(self.data) if self.data else None
+
+
+class ServeClient:
+    """Thin wrapper over the daemon's HTTP API."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8737,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Mapping[str, Any] | None = None) -> Any:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read().decode("utf-8")
+            if response.status >= 400:
+                try:
+                    message = json.loads(raw).get("error", raw)
+                except (json.JSONDecodeError, AttributeError):
+                    message = raw
+                raise ServeError(response.status, message)
+            content_type = response.getheader("Content-Type", "")
+            if content_type.startswith("application/json"):
+                return json.loads(raw)
+            return raw
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Daemon-level
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.1) -> dict:
+        """Poll ``/healthz`` until the daemon answers (boot barrier)."""
+        deadline = time.monotonic() + timeout
+        last_error: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (OSError, ServeError) as exc:
+                last_error = exc
+                time.sleep(interval)
+        raise TimeoutError(
+            f"daemon at {self.host}:{self.port} not ready after {timeout}s: "
+            f"{last_error}"
+        )
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics")
+
+    def cells(self) -> list[str]:
+        return self._request("GET", "/v1/cells")["cells"]
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def create_session(self, manifest: Mapping[str, Any],
+                       autostart: bool = True) -> dict:
+        return self._request("POST", "/v1/sessions",
+                             {**dict(manifest), "autostart": autostart})
+
+    def list_sessions(self) -> list[dict]:
+        return self._request("GET", "/v1/sessions")["sessions"]
+
+    def get_session(self, session_id: str) -> dict:
+        return self._request("GET", f"/v1/sessions/{session_id}")
+
+    def start(self, session_id: str) -> dict:
+        return self._request("POST", f"/v1/sessions/{session_id}/start")
+
+    def pause(self, session_id: str) -> dict:
+        return self._request("POST", f"/v1/sessions/{session_id}/pause")
+
+    def resume(self, session_id: str) -> dict:
+        return self._request("POST", f"/v1/sessions/{session_id}/resume")
+
+    def inject(self, session_id: str, payload: Mapping[str, Any]) -> dict:
+        return self._request("POST", f"/v1/sessions/{session_id}/inject",
+                             dict(payload))
+
+    def summary(self, session_id: str) -> dict:
+        return self._request("GET", f"/v1/sessions/{session_id}/summary")
+
+    def session_metrics(self, session_id: str) -> str:
+        return self._request("GET", f"/v1/sessions/{session_id}/metrics")
+
+    def delete_session(self, session_id: str) -> dict:
+        return self._request("DELETE", f"/v1/sessions/{session_id}")
+
+    def wait_done(self, session_id: str, timeout: float = 120.0,
+                  interval: float = 0.2) -> dict:
+        """Poll the session descriptor until it reaches done/failed."""
+        deadline = time.monotonic() + timeout
+        while True:
+            info = self.get_session(session_id)
+            if info["state"] in ("done", "failed"):
+                return info
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"session {session_id} still {info['state']} "
+                    f"after {timeout}s ({info['ticks_done']}"
+                    f"/{info['total_ticks']} ticks)"
+                )
+            time.sleep(interval)
+
+    # ------------------------------------------------------------------
+    # Event streaming
+    # ------------------------------------------------------------------
+    def stream(self, session_id: str, last_event_id: int = 0,
+               stop_on_end: bool = True) -> Iterator[SSEvent]:
+        """Yield the session's SSE events (blocking generator).
+
+        Resumes from ``last_event_id`` via the ``Last-Event-ID`` header;
+        by default the generator finishes when the ``end`` event arrives
+        (the stream outlives the run, so without ``stop_on_end`` the
+        caller must break out or the read will eventually time out).
+        """
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            headers = {"Accept": "text/event-stream"}
+            if last_event_id:
+                headers["Last-Event-ID"] = str(last_event_id)
+            conn.request("GET", f"/v1/sessions/{session_id}/events",
+                         headers=headers)
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read().decode("utf-8")
+                try:
+                    message = json.loads(raw).get("error", raw)
+                except (json.JSONDecodeError, AttributeError):
+                    message = raw
+                raise ServeError(response.status, message)
+            parser = SSEParser()
+            while True:
+                chunk = response.read1(65536)
+                if not chunk:
+                    return  # server closed the stream
+                for parsed in parser.feed(chunk):
+                    event = SSEvent(id=parsed.id, event=parsed.event,
+                                    data=parsed.data)
+                    yield event
+                    if stop_on_end and event.event == "end":
+                        return
+        finally:
+            conn.close()

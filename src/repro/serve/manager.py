@@ -1,0 +1,158 @@
+"""Cooperative session scheduler.
+
+The :class:`SessionManager` owns every hosted :class:`~repro.serve.session.Session`
+and steps the RUNNING ones round-robin, one tick slice each, yielding to
+the event loop between slices.  Slice sizes come from each session's
+manifest (``tick_slice``), so a fast smoke session and a full-day run
+interleave fairly: wall-clock per scheduling turn is bounded, not ticks.
+
+The manager is loop-agnostic: :meth:`step_once` is a plain synchronous
+method (used directly by tests), and :meth:`run` is the asyncio pump the
+daemon spawns.  Daemon-level counters (sessions created/completed,
+slices stepped) live in a private
+:class:`~repro.obs.registry.MetricsRegistry` exported at ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable
+
+from repro.obs.registry import MetricsRegistry
+from repro.serve.manifest import SessionManifest
+from repro.serve.session import Session, SessionError, SessionState
+
+
+class CapacityError(SessionError):
+    """Raised when the daemon is at ``max_sessions`` live sessions."""
+
+
+class SessionManager:
+    """Create, look up, schedule and reap sessions."""
+
+    def __init__(self, max_sessions: int = 64,
+                 max_buffered_events: int = 4096) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.max_sessions = int(max_sessions)
+        self.max_buffered_events = int(max_buffered_events)
+        self.sessions: dict[str, Session] = {}
+        self.registry = MetricsRegistry()
+        self._counter = 0
+        self._wakeup: asyncio.Event | None = None
+        self._created = self.registry.counter(
+            "serve.sessions_created_total", "sessions created")
+        self._completed = self.registry.counter(
+            "serve.sessions_completed_total", "sessions run to completion")
+        self._failed = self.registry.counter(
+            "serve.sessions_failed_total", "sessions that raised")
+        self._slices = self.registry.counter(
+            "serve.slices_total", "cooperative slices stepped")
+        self._injections = self.registry.counter(
+            "serve.injections_total", "decision injections applied")
+        self.registry.gauge(
+            "serve.sessions_live", "sessions in a live state"
+        ).set_function(lambda: float(len(self.live_sessions())))
+
+    # ------------------------------------------------------------------
+    # Session CRUD
+    # ------------------------------------------------------------------
+    def live_sessions(self) -> list[Session]:
+        return [s for s in self.sessions.values()
+                if s.state in SessionState.LIVE]
+
+    def create(self, manifest: SessionManifest,
+               autostart: bool = False) -> Session:
+        if len(self.live_sessions()) >= self.max_sessions:
+            raise CapacityError(
+                f"at capacity ({self.max_sessions} live sessions); "
+                f"reap finished sessions or raise --max-sessions"
+            )
+        self._counter += 1
+        session = Session(f"s-{self._counter:04d}", manifest,
+                          max_buffered_events=self.max_buffered_events)
+        self.sessions[session.id] = session
+        self._created.inc()
+        if autostart:
+            session.start()
+        self.kick()
+        return session
+
+    def get(self, session_id: str) -> Session:
+        try:
+            return self.sessions[session_id]
+        except KeyError:
+            raise KeyError(f"no session {session_id!r}") from None
+
+    def remove(self, session_id: str) -> Session:
+        """Reap a session (any state); its event buffer goes with it."""
+        return self.sessions.pop(self.get(session_id).id)
+
+    def list_info(self) -> list[dict]:
+        return [s.info() for s in self.sessions.values()]
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def runnable(self) -> Iterable[Session]:
+        return [s for s in self.sessions.values()
+                if s.state == SessionState.RUNNING]
+
+    def step_once(self) -> int:
+        """One scheduler turn: each RUNNING session steps one slice.
+
+        Returns the total ticks executed (0 = everyone idle/done).
+        """
+        executed = 0
+        for session in list(self.runnable()):
+            before_state = session.state
+            ticks = session.step_slice()
+            executed += ticks
+            if ticks:
+                self._slices.inc()
+            if before_state != session.state:
+                if session.state == SessionState.DONE:
+                    self._completed.inc()
+                elif session.state == SessionState.FAILED:
+                    self._failed.inc()
+        return executed
+
+    def kick(self) -> None:
+        """Wake the asyncio pump (new session, resume, injection)."""
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+    def note_injection(self) -> None:
+        self._injections.inc()
+
+    async def run(self) -> None:
+        """The daemon's stepping pump; runs until cancelled.
+
+        Steps sessions as long as any are RUNNING, yielding to the loop
+        after every session's slice so HTTP handling stays responsive;
+        parks on an event when idle.
+        """
+        self._wakeup = asyncio.Event()
+        try:
+            while True:
+                stepped_any = False
+                for session in list(self.runnable()):
+                    before_state = session.state
+                    ticks = session.step_slice()
+                    if ticks:
+                        self._slices.inc()
+                        stepped_any = True
+                    if before_state != session.state:
+                        if session.state == SessionState.DONE:
+                            self._completed.inc()
+                        elif session.state == SessionState.FAILED:
+                            self._failed.inc()
+                    await asyncio.sleep(0)  # let HTTP handlers run
+                if not stepped_any:
+                    self._wakeup.clear()
+                    try:
+                        await asyncio.wait_for(self._wakeup.wait(), timeout=0.25)
+                    except asyncio.TimeoutError:
+                        pass
+        finally:
+            self._wakeup = None

@@ -1,0 +1,272 @@
+"""CI smoke driver: three concurrent served sessions, hard assertions.
+
+Run against an already-booted daemon (CI starts ``repro serve`` in the
+background first)::
+
+    python -m repro.serve.smoke --port 8737 --out serve-transcripts/
+
+Exercises the service end-to-end the way the acceptance criteria demand:
+
+1. **golden** — the pinned cell ``insure:seismic:cloudy`` at full
+   horizon, no injections.  Must stream to completion with the ledger
+   closing and the final summary matching the stored golden record
+   within FleetValidator tolerances (``golden.ok``).
+2. **scenario** — the pinned policy cell ``scenario-grid-hybrid``, same
+   bar: closure + golden verdict.
+3. **inject** — an explicit manifest carrying a carbon/duty-cap policy;
+   mid-run the driver pauses the session, injects a limit, swaps the
+   governor, resumes.  Must complete with the ledger closing, report
+   ``injected: true``, and the streamed events must contain the
+   ``inject.*`` decisions.
+
+Every session's SSE stream is written as a JSONL transcript under
+``--out`` (uploaded as a CI artifact), one event per line:
+``{"id", "event", "data"}``.  Any assertion failure prints ``SMOKE
+FAIL: ...`` and exits 1 — the CI job's exit code *is* the verdict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time as _time
+from pathlib import Path
+
+from repro.serve.client import ServeClient, SSEvent
+
+GOLDEN_CELL = "insure:seismic:cloudy"
+SCENARIO_CELL = "scenario-grid-hybrid"
+
+#: Explicit manifest for the injection session: short horizon (the
+#: pinned cells already prove the long one), policy attached from birth
+#: so the limit/governor injections have a target.
+INJECT_MANIFEST = {
+    "controller": "insure",
+    "workload": "seismic",
+    "weather": "cloudy",
+    "seed": 11,
+    "duration_s": 6 * 3600.0,
+    "tick_slice": 90,
+    "policies": [
+        {
+            "name": "carbon-duty",
+            "signal": "carbon",
+            "governor": "step:420=80%:560=60%",
+            "control": "duty_cap",
+            "interval_s": 300.0,
+        }
+    ],
+}
+
+
+class SmokeFailure(AssertionError):
+    pass
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+class SessionRun:
+    """One session: create, stream to a transcript, verify."""
+
+    def __init__(self, name: str, client: ServeClient, manifest: dict,
+                 out_dir: Path) -> None:
+        self.name = name
+        self.client = client
+        self.manifest = manifest
+        self.transcript_path = out_dir / f"{name}.jsonl"
+        self.events: list[SSEvent] = []
+        self.session_id: str | None = None
+        self.stream_error: Exception | None = None
+        self._thread: threading.Thread | None = None
+
+    def create(self, autostart: bool = True) -> None:
+        info = self.client.create_session(self.manifest, autostart=autostart)
+        self.session_id = info["session"]
+        print(f"[{self.name}] created {self.session_id} "
+              f"({info['total_ticks']} ticks)", flush=True)
+
+    def start_streaming(self) -> None:
+        self._thread = threading.Thread(target=self._stream, daemon=True)
+        self._thread.start()
+
+    def _stream(self) -> None:
+        try:
+            with self.transcript_path.open("w", encoding="utf-8") as fh:
+                for event in self.client.stream(self.session_id):
+                    self.events.append(event)
+                    fh.write(json.dumps(
+                        {"id": event.id, "event": event.event,
+                         "data": event.data}) + "\n")
+        except Exception as exc:  # surfaced by join()
+            self.stream_error = exc
+
+    def join(self, timeout: float) -> None:
+        self._thread.join(timeout)
+        _check(not self._thread.is_alive(),
+               f"[{self.name}] stream still open after {timeout}s")
+        if self.stream_error is not None:
+            raise SmokeFailure(
+                f"[{self.name}] stream failed: {self.stream_error}")
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def events_of(self, kind: str) -> list[SSEvent]:
+        return [e for e in self.events if e.event == kind]
+
+    def verify_common(self) -> dict:
+        """Checks every session must pass; returns the summary payload."""
+        kinds = {e.event for e in self.events}
+        for required in ("hello", "state", "metrics", "ledger",
+                         "summary", "end"):
+            _check(required in kinds,
+                   f"[{self.name}] no {required!r} event in stream "
+                   f"(saw {sorted(kinds)})")
+        ids = [e.id for e in self.events]
+        _check(ids == sorted(ids) and len(set(ids)) == len(ids),
+               f"[{self.name}] event ids not strictly increasing")
+
+        # The streamed ledger deltas must close: every ledger event
+        # carries the closure computed at that instant, and the last one
+        # is the final word.
+        last_ledger = json.loads(self.events_of("ledger")[-1].data)
+        _check(last_ledger["closure"]["ok"],
+               f"[{self.name}] streamed ledger closure failed: "
+               f"{last_ledger['closure']}")
+
+        streamed_summary = json.loads(self.events_of("summary")[-1].data)
+        _check(streamed_summary["closure"] is not None
+               and streamed_summary["closure"]["ok"],
+               f"[{self.name}] summary closure failed: "
+               f"{streamed_summary['closure']}")
+
+        # The summary endpoint must agree with the streamed summary.
+        endpoint_summary = self.client.summary(self.session_id)
+        _check(endpoint_summary == streamed_summary,
+               f"[{self.name}] /summary disagrees with streamed summary")
+        return streamed_summary
+
+    def verify_golden(self, summary: dict) -> None:
+        _check(not summary["injected"],
+               f"[{self.name}] expected injection-free session")
+        verdict = summary["golden"]
+        _check(verdict is not None,
+               f"[{self.name}] no golden verdict (cell-backed full-horizon "
+               f"session should have one)")
+        _check(verdict["ok"],
+               f"[{self.name}] golden mismatch vs {verdict['cell']}: "
+               f"{verdict['mismatches']}")
+        print(f"[{self.name}] golden verdict ok vs {verdict['cell']}",
+              flush=True)
+
+    def verify_injected(self, summary: dict, expected_kinds: list[str]) -> None:
+        _check(summary["injected"],
+               f"[{self.name}] expected injected: true")
+        _check(summary["golden"] is None,
+               f"[{self.name}] injected session must skip the golden verdict")
+        streamed_kinds = [
+            json.loads(e.data)["kind"] for e in self.events_of("decision")
+            if json.loads(e.data)["kind"].startswith("inject.")
+        ]
+        for kind in expected_kinds:
+            _check(kind in streamed_kinds,
+                   f"[{self.name}] decision {kind!r} not streamed "
+                   f"(saw {streamed_kinds})")
+        print(f"[{self.name}] streamed injections: {streamed_kinds}",
+              flush=True)
+
+
+def run_smoke(host: str, port: int, out_dir: Path, timeout: float) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    client = ServeClient(host=host, port=port, timeout=timeout)
+    health = client.wait_ready(timeout=30.0)
+    print(f"daemon ready: {health}", flush=True)
+
+    runs = {
+        "golden": SessionRun("golden", client, {"cell": GOLDEN_CELL}, out_dir),
+        "scenario": SessionRun("scenario", client, {"cell": SCENARIO_CELL},
+                               out_dir),
+        "inject": SessionRun("inject", client, INJECT_MANIFEST, out_dir),
+    }
+    # Create all three before streaming: they step concurrently on the
+    # daemon's single loop, which is the point of the exercise.  The
+    # inject session starts explicitly below so the pause provably lands
+    # mid-run.
+    runs["golden"].create()
+    runs["scenario"].create()
+    runs["inject"].create(autostart=False)
+    for run in runs.values():
+        run.start_streaming()
+
+    # Steer the inject session mid-run: wait until it has stepped at
+    # least one slice, then pause, force a limit, swap the governor,
+    # resume.
+    inject = runs["inject"]
+    client.start(inject.session_id)
+    deadline = _time.monotonic() + 30.0
+    while client.get_session(inject.session_id)["ticks_done"] == 0:
+        _check(_time.monotonic() < deadline,
+               "[inject] session never stepped")
+        _time.sleep(0.05)
+    client.pause(inject.session_id)
+    ack = client.inject(inject.session_id,
+                        {"kind": "limit", "policy": "carbon-duty",
+                         "limit": 0.6})
+    print(f"[inject] limit ack: {ack}", flush=True)
+    ack = client.inject(inject.session_id,
+                        {"kind": "governor", "policy": "carbon-duty",
+                         "governor": "const:0.7"})
+    print(f"[inject] governor ack: {ack}", flush=True)
+    client.resume(inject.session_id)
+
+    for run in runs.values():
+        run.join(timeout)
+
+    summaries = {name: run.verify_common() for name, run in runs.items()}
+    runs["golden"].verify_golden(summaries["golden"])
+    runs["scenario"].verify_golden(summaries["scenario"])
+    runs["inject"].verify_injected(
+        summaries["inject"], ["inject.limit", "inject.governor"])
+
+    # Daemon bookkeeping must agree: 3 sessions, all completed.
+    metrics = client.metrics()
+    print("--- daemon metrics ---", flush=True)
+    for line in metrics.splitlines():
+        if "serve" in line and not line.startswith("#"):
+            print(line, flush=True)
+    for name, run in runs.items():
+        info = client.get_session(run.session_id)
+        _check(info["state"] == "done",
+               f"[{name}] final state {info['state']!r}, wanted done")
+    print(f"SMOKE OK: 3 sessions done, transcripts in {out_dir}/", flush=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serve-daemon CI smoke: 3 concurrent sessions")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8737)
+    parser.add_argument("--out", type=Path, default=Path("serve-transcripts"),
+                        help="directory for SSE transcripts (JSONL)")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-session stream timeout in seconds")
+    args = parser.parse_args(argv)
+    try:
+        run_smoke(args.host, args.port, args.out, args.timeout)
+    except SmokeFailure as exc:
+        print(f"SMOKE FAIL: {exc}", file=sys.stderr, flush=True)
+        return 1
+    except Exception as exc:
+        print(f"SMOKE ERROR: {type(exc).__name__}: {exc}",
+              file=sys.stderr, flush=True)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -128,31 +128,61 @@ class Engine:
         operation); ``start`` and ``finish`` hooks each fire exactly once,
         the first time the engine starts and finishes respectively.
         """
+        steps = self.begin(duration)
+        self._run_kernel(steps)
+        self.end()
+        return self.clock
+
+    def begin(self, duration: float) -> int:
+        """Open a (possibly sliced) run: fire ``start`` hooks, size the run.
+
+        Returns the tick count covering ``duration``.  Together with
+        :meth:`advance` and :meth:`end` this is the non-blocking face of
+        the engine: a host may interleave many engines on one thread by
+        advancing each a bounded slice of ticks at a time.  ``run`` is
+        exactly ``begin`` + one full-length ``advance`` + ``end``, so
+        sliced stepping takes the identical sequence of component steps
+        and produces bit-identical traces.
+        """
         if duration <= 0:
             raise ValueError(f"duration must be positive, got {duration}")
         if not self._components:
             raise SimulationError("no components registered")
-
         clock = self.clock
         if not self._started:
             self._started = True
             for component in self._components:
                 component.start(clock)
+        return max(1, round(duration / clock.dt))
 
-        steps = max(1, round(duration / clock.dt))
-        self._run_kernel(steps)
+    def advance(self, ticks: int) -> int:
+        """Step up to ``ticks`` ticks; returns the count actually executed.
 
+        A shortfall (return value < ``ticks``) means a stop condition
+        ended the run early — callers should stop advancing and call
+        :meth:`end`.  Requires a prior :meth:`begin` (or :meth:`run`).
+        """
+        if ticks <= 0:
+            return 0
+        if not self._started:
+            raise SimulationError("advance() before begin()")
+        return self._run_kernel(int(ticks))
+
+    def end(self) -> None:
+        """Close the run: fire ``finish`` hooks (exactly once)."""
         if not self._finished:
             self._finished = True
             for component in self._components:
-                component.finish(clock)
-        return clock
+                component.finish(self.clock)
 
-    def _run_kernel(self, steps: int) -> None:
-        """The chunked tick loop: pre-bound dispatch, inline clock advance."""
+    def _run_kernel(self, steps: int) -> int:
+        """The chunked tick loop: pre-bound dispatch, inline clock advance.
+
+        Returns the number of ticks executed (< ``steps`` only when a
+        stop condition ended the run early).
+        """
         if self.tracer is not None:
-            self._run_kernel_traced(steps)
-            return
+            return self._run_kernel_traced(steps)
         clock = self.clock
         dt = clock.dt
         step_fns = [component.step for component in self._components]
@@ -171,7 +201,7 @@ class Engine:
                 index += 1
                 clock.step_index = index
                 clock.t = index * dt
-            return
+            return steps
 
         # Run stride-sized chunks of ticks, then evaluate stop conditions
         # once per chunk (after every tick with the default stride of 1).
@@ -194,8 +224,9 @@ class Engine:
                     break
             if stop:
                 break
+        return steps - remaining
 
-    def _run_kernel_traced(self, steps: int) -> None:
+    def _run_kernel_traced(self, steps: int) -> int:
         """Instrumented tick loop: per-component spans on sampled ticks.
 
         Mirrors ``_run_kernel`` exactly — same step order, same chunked
@@ -241,3 +272,4 @@ class Engine:
                         break
                 if stop:
                     break
+        return steps - remaining

@@ -92,6 +92,19 @@ def all_cells() -> list[dict[str, str]]:
     return matrix_cells() + scenario_cells()
 
 
+def available_cell_ids() -> list[str]:
+    """Every pinned cell id, in the CLI/manifest grammar: matrix cells as
+    ``controller:workload:weather``, scenario cells as ``scenario-<name>``."""
+    from repro.experiments.scenarios import scenario_names
+
+    ids = [
+        f"{cell['controller']}:{cell['workload']}:{cell['weather']}"
+        for cell in matrix_cells()
+    ]
+    ids.extend(scenario_cell_name(name) for name in scenario_names())
+    return ids
+
+
 def _make_workload(kind: str):
     if kind == "video":
         return VideoSurveillance()

@@ -57,9 +57,12 @@ class TestEulerLimit:
 
         # Finest refinement lands on the exact answer...
         assert errors[-1] < 1e-3
-        # ...and the error shrinks monotonically with the step size
-        # (up to roundoff when both are already converged).
-        assert errors[2] <= errors[0] + 1e-12
+        # ...and the error shrinks monotonically with the step size —
+        # but only once there is truncation error to shrink: at
+        # near-zero currents every refinement already sits at the
+        # roundoff floor, where the ordering is noise.
+        if errors[0] > 1e-10:
+            assert errors[2] <= errors[0] + 1e-12
 
     @given(
         soc=st.floats(0.35, 0.85),

@@ -1,0 +1,99 @@
+"""StreamTap: delta extraction over a live Observability bundle."""
+
+from __future__ import annotations
+
+from repro.core.system import build_system
+from repro.obs.hub import Observability
+from repro.obs.stream import DEFAULT_GAUGES, StreamTap
+from repro.solar.traces import make_day_trace
+from repro.workloads import SeismicAnalysis
+
+
+def make_instrumented_system(seed: int = 3):
+    trace = make_day_trace("cloudy", seed=seed, dt_seconds=5.0)
+    obs = Observability(trace_stride=16)
+    system = build_system(trace, SeismicAnalysis(), controller="insure",
+                          seed=seed, observability=obs)
+    return system, obs
+
+
+class TestStreamTap:
+    def test_poll_always_carries_metrics(self):
+        system, obs = make_instrumented_system()
+        tap = StreamTap(obs)
+        events = tap.poll(0.0)
+        metrics = [e for e in events if e["type"] == "metrics"]
+        assert len(metrics) == 1
+        assert set(metrics[0]["values"]) <= set(DEFAULT_GAUGES)
+        assert "engine.ticks" in metrics[0]["values"]
+
+    def test_decisions_stream_once(self):
+        system, obs = make_instrumented_system()
+        tap = StreamTap(obs)
+        system.begin_run()
+        system.advance(360)  # 30 sim-minutes: boot decisions land
+        t = system.engine.clock.t
+        first = [e for e in tap.poll(t) if e["type"] in ("decision", "alert")]
+        assert first, "expected boot decisions in the first poll"
+        again = [e for e in tap.poll(t) if e["type"] in ("decision", "alert")]
+        assert again == []  # cursor advanced; nothing new
+        system.advance(720)
+        t = system.engine.clock.t
+        fresh = [e for e in tap.poll(t) if e["type"] in ("decision", "alert")]
+        for event in fresh:
+            assert event["t"] >= first[-1]["t"]
+
+    def test_alert_kinds_retyped(self):
+        system, obs = make_instrumented_system()
+        tap = StreamTap(obs)
+        obs.decisions.record(1.0, "alert.test", "unit", detail="x")
+        events = tap.poll(1.0)
+        alerts = [e for e in events if e["type"] == "alert"]
+        assert len(alerts) == 1
+        assert alerts[0]["kind"] == "alert.test"
+        assert alerts[0]["data"] == {"detail": "x"}
+
+    def test_ledger_deltas_only_when_moving(self):
+        system, obs = make_instrumented_system()
+        tap = StreamTap(obs)
+        # Nothing has run: no edge movement, no ledger event.
+        assert [e for e in tap.poll(0.0) if e["type"] == "ledger"] == []
+        system.begin_run()
+        system.advance(720)
+        t = system.engine.clock.t
+        ledger = [e for e in tap.poll(t) if e["type"] == "ledger"]
+        assert len(ledger) == 1
+        assert ledger[0]["delta_wh"], "energy moved but no deltas"
+        assert "ok" in ledger[0]["closure"]
+        # A second poll with no ticks in between streams no ledger event.
+        assert [e for e in tap.poll(t) if e["type"] == "ledger"] == []
+
+    def test_deltas_sum_to_edge_totals(self):
+        system, obs = make_instrumented_system()
+        tap = StreamTap(obs)
+        system.begin_run()
+        totals: dict[str, float] = {}
+        for _ in range(6):
+            system.advance(360)
+            t = system.engine.clock.t
+            for event in tap.poll(t):
+                if event["type"] == "ledger":
+                    for name, wh in event["delta_wh"].items():
+                        totals[name] = totals.get(name, 0.0) + wh
+        edges = obs.ledger.edges()
+        for name, total in totals.items():
+            assert abs(edges[name] - total) < 1e-6, name
+
+    def test_polling_does_not_perturb_the_run(self):
+        quiet_sys, _ = make_instrumented_system(seed=9)
+        tapped_sys, tapped_obs = make_instrumented_system(seed=9)
+        tap = StreamTap(tapped_obs)
+        quiet_sys.begin_run()
+        tapped_sys.begin_run()
+        for _ in range(12):
+            quiet_sys.advance(360)
+            tapped_sys.advance(360)
+            tap.poll(tapped_sys.engine.clock.t)
+        quiet = quiet_sys.finalize()
+        tapped = tapped_sys.finalize()
+        assert vars(quiet) == vars(tapped)
