@@ -21,7 +21,7 @@ def test_fig1b_aws_egress(benchmark):
     tiers = (10, 50, 150, 250, 500)
     costs = benchmark(lambda: [aws_egress_cost_per_tb(tb) for tb in tiers])
     banner("Figure 1(b) — AWS egress $/TB  (paper: ~$120 down to ~$50)")
-    for tb, cost in zip(tiers, costs):
+    for tb, cost in zip(tiers, costs, strict=True):
         row(f"{tb} TB", f"${cost:.0f}/TB")
     assert costs[0] > 100.0
     assert costs[-1] < 60.0

@@ -1,0 +1,109 @@
+"""Committed-baseline support for ``repro lint``.
+
+A baseline records the fingerprints of known findings so a rule can be
+introduced (or tightened) before the whole tree is clean: existing
+findings are parked in a reviewed, committed JSON file and only *new*
+findings fail the build.  Matching is count-aware — if the baseline
+holds two occurrences of a fingerprint and a third appears, the third is
+reported.
+
+The file is plain sorted JSON so diffs review like code::
+
+    repro lint --write-baseline          # park today's findings
+    repro lint --baseline                # report only what's new
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+#: Default location, resolved against the working directory (the repo
+#: root in CI and normal checkouts).
+DEFAULT_BASELINE_NAME = ".lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Parked findings, keyed by fingerprint with occurrence counts."""
+
+    entries: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def counts(self) -> Counter:
+        return Counter(
+            {fp: int(entry.get("count", 1)) for fp, entry in self.entries.items()}
+        )
+
+    def __len__(self) -> int:
+        return sum(int(entry.get("count", 1)) for entry in self.entries.values())
+
+
+def write_baseline(findings: list[Finding], path: Path | str) -> Path:
+    """Serialize ``findings`` as the new baseline; returns the path."""
+    grouped: dict[str, dict[str, Any]] = {}
+    for finding in sorted(findings, key=Finding.sort_key):
+        fp = finding.fingerprint()
+        if fp in grouped:
+            grouped[fp]["count"] += 1
+        else:
+            grouped[fp] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "count": 1,
+            }
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": dict(sorted(grouped.items())),
+    }
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    return out
+
+
+def load_baseline(path: Path | str) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    source = Path(path)
+    if not source.exists():
+        return Baseline()
+    payload = json.loads(source.read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {source} "
+            f"(expected {BASELINE_VERSION}); regenerate with "
+            f"`repro lint --write-baseline`"
+        )
+    entries = payload.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"malformed baseline {source}: entries must be an object")
+    return Baseline(entries=dict(entries))
+
+
+def filter_findings(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, baselined-count).
+
+    Occurrences beyond a fingerprint's baselined count escape, in source
+    order, so regressions duplicating a parked finding still fail.
+    """
+    budget = baseline.counts()
+    fresh: list[Finding] = []
+    matched = 0
+    for finding in sorted(findings, key=Finding.sort_key):
+        fp = finding.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            matched += 1
+        else:
+            fresh.append(finding)
+    return fresh, matched

@@ -1,0 +1,54 @@
+"""Name-based rule registry, mirroring :mod:`repro.policy.registry`.
+
+Built-in rules register themselves at import time via the
+:func:`register_rule` decorator; third-party extensions use the same
+decorator to add project-specific rules (see ``docs/analysis.md`` for a
+worked example).  Re-registering a taken id raises, so a typo cannot
+silently shadow a built-in rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.analysis.core import Rule
+
+_RULES: dict[str, Callable[[], Rule]] = {}
+
+
+def _ensure_builtin() -> None:
+    """Import the built-in rule modules (idempotent, import-cycle safe)."""
+    import repro.analysis.rules  # noqa: F401  (import registers the rules)
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Register a rule class under its ``id`` attribute (decorator-friendly)."""
+    name = cls.id
+    if not name:
+        raise ValueError(f"rule class {cls.__name__} has no id")
+    if name in _RULES:
+        raise ValueError(f"rule id {name!r} already registered")
+    _RULES[name] = cls
+    return cls
+
+
+def rule_names() -> list[str]:
+    _ensure_builtin()
+    return sorted(_RULES)
+
+
+def make_rule(name: str) -> Rule:
+    _ensure_builtin()
+    try:
+        return _RULES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown rule {name!r}; known: {rule_names()}"
+        ) from None
+
+
+def make_rules(names: Sequence[str] | None = None) -> list[Rule]:
+    """Instantiate the named rules (all registered rules by default)."""
+    if names is None:
+        return [make_rule(name) for name in rule_names()]
+    return [make_rule(name) for name in names]

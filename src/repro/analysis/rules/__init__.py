@@ -1,0 +1,20 @@
+"""Built-in analysis rules.
+
+Importing this package registers every built-in rule with
+:mod:`repro.analysis.registry`; the registry does so lazily on first
+lookup, mirroring how :mod:`repro.policy` loads its built-in governors.
+"""
+
+from repro.analysis.rules.asynchygiene import AsyncHygieneRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.parity import KernelParityRule
+from repro.analysis.rules.purity import ObserverPurityRule
+from repro.analysis.rules.units import UnitDisciplineRule
+
+__all__ = [
+    "AsyncHygieneRule",
+    "DeterminismRule",
+    "KernelParityRule",
+    "ObserverPurityRule",
+    "UnitDisciplineRule",
+]

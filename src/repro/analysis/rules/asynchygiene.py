@@ -1,0 +1,112 @@
+"""Rule: no blocking calls inside ``async def`` bodies.
+
+The serve daemon (:mod:`repro.serve`) runs simulations on an asyncio
+event loop; one blocking call inside a coroutine stalls every connected
+SSE stream.  This rule flags, inside ``async def`` functions anywhere in
+the tree (the event loop does not care which package stalls it):
+
+* ``time.sleep`` (use ``asyncio.sleep``),
+* synchronous subprocess spawns (``subprocess.run`` & friends,
+  ``os.system``),
+* synchronous sockets and HTTP (``socket.socket``,
+  ``socket.create_connection``, ``urllib.request.urlopen``),
+* synchronous file IO: builtin ``open()`` and ``Path`` read/write
+  helpers (``read_text``, ``write_bytes``, ...).
+
+Code inside a *nested* synchronous ``def`` is exempt — that function may
+legitimately be shipped to a thread executor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from repro.analysis.core import Finding, ImportMap, ModuleSource, Rule
+from repro.analysis.registry import register_rule
+
+#: Resolved dotted call targets that block the event loop.
+_BLOCKING_CALLS: dict[str, str] = {
+    "time.sleep": "use `await asyncio.sleep(...)` instead",
+    "subprocess.run": "use `await asyncio.create_subprocess_exec(...)`",
+    "subprocess.call": "use `await asyncio.create_subprocess_exec(...)`",
+    "subprocess.check_call": "use `await asyncio.create_subprocess_exec(...)`",
+    "subprocess.check_output": "use `await asyncio.create_subprocess_exec(...)`",
+    "subprocess.Popen": "use `await asyncio.create_subprocess_exec(...)`",
+    "os.system": "use `await asyncio.create_subprocess_shell(...)`",
+    "socket.socket": "use asyncio streams (`asyncio.open_connection`)",
+    "socket.create_connection": "use `asyncio.open_connection(...)`",
+    "urllib.request.urlopen": "run it in a thread executor",
+}
+
+#: Method names on any receiver that imply synchronous file IO.
+_BLOCKING_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+@register_rule
+class AsyncHygieneRule(Rule):
+    id: ClassVar[str] = "async-hygiene"
+    description: ClassVar[str] = (
+        "no blocking calls (time.sleep, sync IO, subprocess) inside "
+        "async def bodies"
+    )
+
+    def check_module(self, module: ModuleSource) -> list[Finding]:
+        imports = ImportMap(module.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                self._check_async_body(module, imports, node, findings)
+        return findings
+
+    def _check_async_body(
+        self,
+        module: ModuleSource,
+        imports: ImportMap,
+        func: ast.AsyncFunctionDef,
+        findings: list[Finding],
+    ) -> None:
+        where = f"async def {func.name}"
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            # A nested sync def is an executor candidate; a nested async
+            # def is visited by the outer walk in check_module.
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                finding = self._check_call(module, imports, node, where)
+                if finding is not None:
+                    findings.append(finding)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_call(
+        self,
+        module: ModuleSource,
+        imports: ImportMap,
+        node: ast.Call,
+        where: str,
+    ) -> Finding | None:
+        func = node.func
+        target = imports.resolve_call(func)
+        if target is not None and target in _BLOCKING_CALLS:
+            return module.finding(
+                self.id, node,
+                f"blocking call {target}() in {where}; "
+                f"{_BLOCKING_CALLS[target]}",
+            )
+        if isinstance(func, ast.Name) and func.id == "open":
+            return module.finding(
+                self.id, node,
+                f"synchronous open() in {where}; read the file in a thread "
+                f"executor or before entering the coroutine",
+            )
+        if isinstance(func, ast.Attribute) and func.attr in _BLOCKING_METHODS:
+            return module.finding(
+                self.id, node,
+                f"synchronous file IO .{func.attr}() in {where}; move it to "
+                f"a thread executor",
+            )
+        return None

@@ -1,0 +1,147 @@
+"""Rule: kernel code must be deterministic and simulation-clock driven.
+
+The reproduction's results are validated bit-for-bit against committed
+golden traces; any wall-clock read or unseeded randomness inside the
+simulation kernel silently breaks that contract.  This rule bans:
+
+* wall-clock reads (``time.time``, ``datetime.now``, ...),
+* the stdlib ``random`` module entirely,
+* unseeded ``numpy.random`` (the legacy global-state API, and
+  ``default_rng()`` called without an explicit seed),
+* iteration over unordered sets (``for x in {...}``, set comprehensions
+  as iterables) whose order varies across interpreter runs,
+
+inside the kernel packages (``repro.sim``, ``repro.core``,
+``repro.battery``, ``repro.policy``).  Wall-clock time is legal in the
+service layer (``repro.serve``) and observability exporters
+(``repro.obs``), which timestamp output for humans, not for physics.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from repro.analysis.core import Finding, ImportMap, ModuleSource, Rule
+from repro.analysis.registry import register_rule
+
+#: Packages whose modules feed simulated physics and must be replayable.
+KERNEL_PACKAGES: tuple[str, ...] = (
+    "repro.sim",
+    "repro.core",
+    "repro.battery",
+    "repro.policy",
+)
+
+#: Wall-clock reads: calling any of these inside the kernel is a finding.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ``numpy.random`` names that are *legal* in kernel code: constructing a
+#: generator from an explicit seed, and type/seed plumbing.
+_NP_RANDOM_OK = frozenset(
+    {
+        "numpy.random.Generator",
+        "numpy.random.SeedSequence",
+        "numpy.random.BitGenerator",
+        "numpy.random.PCG64",
+    }
+)
+
+
+@register_rule
+class DeterminismRule(Rule):
+    id: ClassVar[str] = "determinism"
+    description: ClassVar[str] = (
+        "no wall-clock, stdlib random, unseeded numpy.random, or "
+        "unordered-set iteration in kernel packages"
+    )
+
+    def __init__(self, packages: tuple[str, ...] = KERNEL_PACKAGES) -> None:
+        self.packages = packages
+
+    def check_module(self, module: ModuleSource) -> list[Finding]:
+        if not module.in_package(*self.packages):
+            return []
+        imports = ImportMap(module.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, imports, node))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                findings.extend(self._check_iter(module, imports, node.iter))
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    findings.extend(self._check_iter(module, imports, gen.iter))
+        return findings
+
+    def _check_call(
+        self, module: ModuleSource, imports: ImportMap, node: ast.Call
+    ) -> list[Finding]:
+        target = imports.resolve_call(node.func)
+        if target is None:
+            return []
+        if target in _CLOCK_CALLS:
+            return [module.finding(
+                self.id, node,
+                f"wall-clock call {target}() in kernel code; simulated time "
+                f"comes from the engine Clock (wall-clock is only legal in "
+                f"repro.serve / repro.obs exporters)",
+            )]
+        if target == "random" or target.startswith("random."):
+            return [module.finding(
+                self.id, node,
+                f"stdlib {target}() draws from unseeded global state; use a "
+                f"numpy Generator seeded from the run config",
+            )]
+        if target.startswith("numpy.random."):
+            if target in _NP_RANDOM_OK:
+                return []
+            if target == "numpy.random.default_rng":
+                if node.args or node.keywords:
+                    return []
+                return [module.finding(
+                    self.id, node,
+                    "numpy.random.default_rng() without a seed is entropy-"
+                    "seeded; pass an explicit seed or SeedSequence",
+                )]
+            return [module.finding(
+                self.id, node,
+                f"{target}() uses numpy's global random state; use a "
+                f"Generator seeded from the run config",
+            )]
+        return []
+
+    def _check_iter(
+        self, module: ModuleSource, imports: ImportMap, iter_node: ast.AST
+    ) -> list[Finding]:
+        unordered = False
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            unordered = True
+        elif isinstance(iter_node, ast.Call):
+            func = iter_node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                unordered = True
+        if not unordered:
+            return []
+        return [module.finding(
+            self.id, iter_node,
+            "iteration over an unordered set; wrap in sorted(...) so "
+            "traversal order is reproducible across interpreter runs",
+        )]

@@ -1,0 +1,187 @@
+"""Rule: engine observers may read the plant but never mutate it.
+
+Observability callbacks registered with ``engine.observe(...)`` run
+inside the tick loop; a write from one of them changes simulated physics
+depending on which observers happen to be attached — the exact bug class
+golden traces exist to catch.  Observers may freely mutate *their own*
+state (``self.rows.append(...)``) but must treat engine, plant, and
+system objects as read-only.
+
+Detection is structural: inside the observer-scoped packages, a class is
+considered an observer when it registers itself (``*.observe(self, ...)``
+anywhere in its methods, typically ``attach``) or when it defines the
+observer protocol ``__call__(self, clock)``.  Its tick-path methods —
+``__call__`` plus every method transitively reached through
+``self.<name>(...)`` calls — are then checked for:
+
+* attribute assignment rooted at anything other than ``self``,
+* ``setattr``/``delattr`` on a non-self target,
+* calls whose method name is mutator-shaped (``set_*``, ``apply_*``,
+  ``inject*``, ``step``, ``record``, ...) on a non-self receiver.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from repro.analysis.core import Finding, ModuleSource, Rule, attribute_root
+from repro.analysis.registry import register_rule
+
+#: Packages whose classes participate in the engine observer protocol.
+OBSERVER_PACKAGES: tuple[str, ...] = (
+    "repro.obs",
+    "repro.validate",
+    "repro.sim.trace",
+)
+
+#: Method-name shapes that imply mutation of the receiver.
+_MUTATOR_PREFIXES = (
+    "set_", "apply_", "add_", "remove_", "inject", "write_",
+    "reset", "clear", "record_",
+)
+_MUTATOR_EXACT = frozenset(
+    {
+        "step", "update", "append", "extend", "insert", "pop", "push",
+        "emit", "observe", "shed", "transition", "record",
+    }
+)
+
+
+def _is_mutator_name(name: str) -> bool:
+    return name in _MUTATOR_EXACT or any(
+        name.startswith(prefix) for prefix in _MUTATOR_PREFIXES
+    )
+
+
+def _rooted_at_self(node: ast.AST) -> bool:
+    root = attribute_root(node)
+    return isinstance(root, ast.Name) and root.id == "self"
+
+
+class _ClassInfo:
+    def __init__(self, node: ast.ClassDef) -> None:
+        self.node = node
+        self.methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.methods[item.name] = item
+
+    def is_observer(self) -> bool:
+        call = self.methods.get("__call__")
+        if call is not None:
+            params = call.args.args
+            if len(params) >= 2 and params[1].arg == "clock":
+                return True
+        for method in self.methods.values():
+            for node in ast.walk(method):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "observe"
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id == "self"
+                ):
+                    return True
+        return False
+
+    def tick_methods(self) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+        """``__call__`` plus everything reachable via ``self.<m>()``."""
+        if "__call__" not in self.methods:
+            return []
+        seen: set[str] = set()
+        queue = ["__call__"]
+        ordered: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        while queue:
+            name = queue.pop(0)
+            if name in seen or name not in self.methods:
+                continue
+            seen.add(name)
+            method = self.methods[name]
+            ordered.append(method)
+            for node in ast.walk(method):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                ):
+                    queue.append(node.func.attr)
+        return ordered
+
+
+@register_rule
+class ObserverPurityRule(Rule):
+    id: ClassVar[str] = "observer-purity"
+    description: ClassVar[str] = (
+        "engine observers read engine/plant state but never mutate it"
+    )
+
+    def __init__(self, packages: tuple[str, ...] = OBSERVER_PACKAGES) -> None:
+        self.packages = packages
+
+    def check_module(self, module: ModuleSource) -> list[Finding]:
+        if not module.in_package(*self.packages):
+            return []
+        findings: list[Finding] = []
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = _ClassInfo(node)
+            if not info.is_observer():
+                continue
+            for method in info.tick_methods():
+                findings.extend(self._check_method(module, node.name, method))
+        return findings
+
+    def _check_method(
+        self,
+        module: ModuleSource,
+        class_name: str,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        where = f"observer {class_name}.{method.name}"
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    for leaf in self._assignment_leaves(target):
+                        if isinstance(leaf, (ast.Attribute, ast.Subscript)) and not _rooted_at_self(leaf):
+                            findings.append(module.finding(
+                                self.id, node,
+                                f"{where} assigns to external state "
+                                f"{ast.unparse(leaf)}; observers must not "
+                                f"mutate the plant",
+                            ))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id in ("setattr", "delattr"):
+                    if node.args and not (
+                        isinstance(node.args[0], ast.Name)
+                        and node.args[0].id == "self"
+                    ):
+                        findings.append(module.finding(
+                            self.id, node,
+                            f"{where} calls {func.id}() on a non-self object",
+                        ))
+                elif isinstance(func, ast.Attribute) and _is_mutator_name(func.attr):
+                    if not _rooted_at_self(func.value):
+                        findings.append(module.finding(
+                            self.id, node,
+                            f"{where} calls mutator "
+                            f"{ast.unparse(func)}() on external state",
+                        ))
+        return findings
+
+    @staticmethod
+    def _assignment_leaves(target: ast.AST) -> list[ast.AST]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            leaves: list[ast.AST] = []
+            for element in target.elts:
+                leaves.extend(ObserverPurityRule._assignment_leaves(element))
+            return leaves
+        if isinstance(target, ast.Starred):
+            return ObserverPurityRule._assignment_leaves(target.value)
+        return [target]

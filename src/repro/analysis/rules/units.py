@@ -1,0 +1,169 @@
+"""Rule: unit-suffixed quantities must not mix across units.
+
+The codebase encodes physical units in identifier suffixes — ``_wh``
+(watt-hours), ``_ah`` (amp-hours), ``_w`` (watts), ``_amps``,
+``_frac`` — a convention the compiler cannot check.  This rule infers a
+unit from the suffix of every Name/Attribute (and from the called
+function's name, since helpers follow the same convention) and flags
+expressions that combine two *different known* units where the result
+would be physically meaningless:
+
+* additive arithmetic (``+``/``-``, including augmented assignment),
+* ordered comparison (``<``, ``<=``, ``>``, ``>=``),
+* plain assignment of one unit-suffixed name to another,
+* ``min``/``max`` over mixed-unit arguments.
+
+Multiplication and division are exempt (they legitimately change units:
+``power_w * hours_h`` is energy), as are operands whose unit cannot be
+inferred.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from repro.analysis.core import Finding, ModuleSource, Rule
+from repro.analysis.registry import register_rule
+
+#: identifier suffix -> canonical unit label.  Suffixes are the final
+#: ``_``-separated segment of a name, lower-cased.
+SUFFIX_UNITS: dict[str, str] = {
+    "wh": "Wh",
+    "kwh": "kWh",
+    "mwh": "MWh",
+    "ah": "Ah",
+    "w": "W",
+    "kw": "kW",
+    "amps": "A",
+    "v": "V",
+    "s": "s",
+    "seconds": "s",
+    "h": "h",
+    "hours": "h",
+    "minutes": "min",
+    "pct": "%",
+    "frac": "fraction",
+    "fraction": "fraction",
+    "soc": "fraction",
+    "gb": "GB",
+    "wm2": "W/m^2",
+}
+
+#: Unit groups that are freely interchangeable (same dimension and the
+#: codebase deliberately converts at use sites would still be flagged —
+#: we only merge identical dimensions written with one spelling).
+_ALIASES: dict[str, str] = {}
+
+_ADDITIVE = (ast.Add, ast.Sub)
+_ORDERED = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def infer_unit(node: ast.AST) -> str | None:
+    """Unit implied by an expression, or None when indeterminate.
+
+    Names/attributes use the suffix convention; calls inherit from the
+    called function's name (``solar_w()``); parenthesised arithmetic and
+    conditional expressions propagate their operands' unit when it is
+    unambiguous.
+    """
+    if isinstance(node, ast.Name):
+        return _suffix_unit(node.id)
+    if isinstance(node, ast.Attribute):
+        return _suffix_unit(node.attr)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return _suffix_unit(func.id)
+        if isinstance(func, ast.Attribute):
+            return _suffix_unit(func.attr)
+        return None
+    if isinstance(node, ast.UnaryOp):
+        return infer_unit(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _ADDITIVE):
+        left = infer_unit(node.left)
+        right = infer_unit(node.right)
+        if left is not None and right is not None and left == right:
+            return left
+        return left if right is None else right if left is None else None
+    if isinstance(node, ast.IfExp):
+        body = infer_unit(node.body)
+        orelse = infer_unit(node.orelse)
+        if body == orelse:
+            return body
+        return None
+    return None
+
+
+def _suffix_unit(name: str) -> str | None:
+    suffix = name.rsplit("_", 1)[-1].lower()
+    unit = SUFFIX_UNITS.get(suffix)
+    if unit is None:
+        return None
+    return _ALIASES.get(unit, unit)
+
+
+@register_rule
+class UnitDisciplineRule(Rule):
+    id: ClassVar[str] = "unit-discipline"
+    description: ClassVar[str] = (
+        "no additive arithmetic, comparison, or assignment across "
+        "different unit suffixes (_wh, _ah, _w, _amps, _frac, ...)"
+    )
+
+    def check_module(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _ADDITIVE):
+                self._pairwise(module, node, node.left, node.right,
+                               "arithmetic", findings)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for op, left, right in zip(node.ops, operands, operands[1:], strict=False):
+                    if isinstance(op, _ORDERED):
+                        self._pairwise(module, node, left, right,
+                                       "comparison", findings)
+            elif isinstance(node, ast.Assign):
+                value_unit = infer_unit(node.value)
+                if value_unit is None:
+                    continue
+                for target in node.targets:
+                    target_unit = infer_unit(target)
+                    if target_unit is not None and target_unit != value_unit:
+                        findings.append(module.finding(
+                            self.id, node,
+                            f"assigning a {value_unit} value to a "
+                            f"{target_unit}-suffixed name",
+                        ))
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, _ADDITIVE):
+                self._pairwise(module, node, node.target, node.value,
+                               "augmented assignment", findings)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id in ("min", "max"):
+                    units = {u for u in map(infer_unit, node.args) if u is not None}
+                    if len(units) > 1:
+                        findings.append(module.finding(
+                            self.id, node,
+                            f"{func.id}() over mixed units "
+                            f"({', '.join(sorted(units))})",
+                        ))
+        return findings
+
+    def _pairwise(
+        self,
+        module: ModuleSource,
+        anchor: ast.AST,
+        left: ast.AST,
+        right: ast.AST,
+        what: str,
+        findings: list[Finding],
+    ) -> None:
+        left_unit = infer_unit(left)
+        right_unit = infer_unit(right)
+        if left_unit is None or right_unit is None or left_unit == right_unit:
+            return
+        findings.append(module.finding(
+            self.id, anchor,
+            f"mixed-unit {what}: {left_unit} vs {right_unit}",
+        ))

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import statistics
-from typing import Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 import numpy as np
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.system import build_system
 from repro.solar.traces import make_day_trace
@@ -529,6 +529,57 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        DEFAULT_BASELINE_NAME,
+        render_json,
+        render_text,
+        rule_names,
+        run_lint,
+        write_baseline,
+    )
+    from repro.analysis.runner import build_project, default_root, lint_project
+    from repro.analysis.registry import make_rules
+
+    if args.list_rules:
+        for rule in make_rules():
+            print(f"{rule.id}: {rule.description}")
+        return 0
+
+    rule_ids = args.rule if args.rule else None
+    if rule_ids:
+        unknown = sorted(set(rule_ids) - set(rule_names()))
+        if unknown:
+            print(f"repro lint: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    root = Path(args.root) if args.root else None
+    baseline_path = None
+    if args.baseline is not None:
+        baseline_path = args.baseline if args.baseline else DEFAULT_BASELINE_NAME
+
+    if args.write_baseline:
+        project = build_project(root)
+        rules = make_rules(rule_ids)
+        findings, _ = lint_project(project, rules,
+                                   all_rules_selected=rule_ids is None)
+        out = write_baseline(findings,
+                             baseline_path or DEFAULT_BASELINE_NAME)
+        print(f"wrote {len(findings)} finding(s) to {out}")
+        return 0
+
+    result = run_lint(root=root, rule_ids=rule_ids,
+                      baseline_path=baseline_path)
+    if args.json:
+        print(render_json(result), end="")
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="InSURE (ISCA 2015) reproduction toolkit"
@@ -717,6 +768,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-buffered-events", type=int, default=4096,
                        help="per-session SSE replay buffer (default 4096)")
     serve.set_defaults(func=_cmd_serve)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the domain-aware static analysis suite over repro's sources",
+    )
+    lint.add_argument("--rule", action="append", metavar="RULE-ID",
+                      help="run only this rule (repeatable; default: all)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the versioned JSON report instead of text")
+    lint.add_argument("--baseline", nargs="?", const="", default=None,
+                      metavar="PATH",
+                      help="filter findings against a committed baseline "
+                           "(default path: .lint-baseline.json)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="park current findings into the baseline file")
+    lint.add_argument("--root", default=None, metavar="DIR",
+                      help="package directory to scan (default: the "
+                           "installed repro package)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rule ids and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     plan = sub.add_parser("plan", help="in-situ vs cloud deployment economics")
     plan.add_argument("--gb-per-day", type=float, required=True)

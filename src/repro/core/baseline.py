@@ -18,6 +18,7 @@ buffer protection trips — but its buffer is *unified*:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.battery.unit import BatteryMode
 from repro.core.controller_base import PowerManager
@@ -50,7 +51,8 @@ class BaselineParams:
 class BaselineController(PowerManager):
     """Unified-buffer, renewable-tracking baseline."""
 
-    def __init__(self, *args, params: BaselineParams | None = None, **kwargs) -> None:
+    def __init__(self, *args: Any, params: BaselineParams | None = None,
+                 **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.params = params or BaselineParams()
         self._elapsed = float("inf")

@@ -9,6 +9,8 @@ DVFS duty cycle.  The InSURE and baseline controllers differ only in the
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.battery.bank import BatteryBank
 from repro.battery.unit import BatteryMode, BatteryUnit
 from repro.cluster.allocator import NodeAllocator
@@ -22,6 +24,10 @@ from repro.sim.clock import Clock
 from repro.sim.component import Component
 from repro.sim.events import EventLog
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # imported for annotations only; avoids a runtime cycle
+    from repro.battery.charger import SolarCharger
+    from repro.policy.policy import Policy
 
 #: Power drawn by one VM's share of a busy ProLiant (350 W / 2 VMs).
 DEFAULT_PER_VM_W = 175.0
@@ -92,12 +98,13 @@ class PowerManager(Component):
         #: once per tick after the controller's own logic.  Empty by
         #: default — an empty list adds zero float operations, so runs
         #: without policies stay bit-identical to the pre-policy code.
-        self.policies: list = []
+        self.policies: list[Policy] = []
 
     # ------------------------------------------------------------------
     # Policy overlays (repro.policy)
     # ------------------------------------------------------------------
-    def attach_policy(self, policy, charger=None) -> None:
+    def attach_policy(self, policy: Policy,
+                      charger: SolarCharger | None = None) -> None:
         """Bind a policy overlay to this manager and start stepping it."""
         policy.bind(self, charger)
         self.policies.append(policy)

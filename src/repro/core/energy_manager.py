@@ -11,6 +11,7 @@ restarts happen as soon as charged cabinets come back online.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.battery.unit import BatteryMode
 from repro.core.controller_base import PowerManager
@@ -56,7 +57,8 @@ class InsureParams:
 class InsureController(PowerManager):
     """Joint spatio-temporal power manager (the paper's design)."""
 
-    def __init__(self, *args, params: InsureParams | None = None, **kwargs) -> None:
+    def __init__(self, *args: Any, params: InsureParams | None = None,
+                 **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.params = params or InsureParams()
         capacity = self.bank[0].params.capacity_ah

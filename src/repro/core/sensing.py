@@ -11,6 +11,7 @@ spatial manager's screening (Figure 9).
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.battery.bank import BatteryBank
@@ -99,11 +100,11 @@ class BatteryTelemetry:
             sensor.gain = 1.0 + gain_error
 
     @staticmethod
-    def _v_source(unit: BatteryUnit):
+    def _v_source(unit: BatteryUnit) -> Callable[[], float]:
         return lambda: unit.terminal_voltage
 
     @staticmethod
-    def _i_source(unit: BatteryUnit):
+    def _i_source(unit: BatteryUnit) -> Callable[[], float]:
         return lambda: unit.last_current
 
     # ------------------------------------------------------------------

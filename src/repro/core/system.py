@@ -17,7 +17,8 @@ the surviving compute-seconds to the workload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Sequence
+from collections.abc import Sequence
+from typing import Any, Literal
 
 from repro.battery.bank import BatteryBank
 from repro.battery.charger import SolarCharger
@@ -58,7 +59,7 @@ class PlantCoupler(Component):
     def __init__(
         self,
         name: str,
-        source,
+        source: Any,
         bus: PowerBus,
         rack: ServerRack,
         workload: Workload,
@@ -274,7 +275,7 @@ def build_system(
     if initial_socs is not None:
         if len(initial_socs) != len(bank):
             raise ValueError("initial_socs length must match battery_count")
-        for unit, soc in zip(bank, initial_socs):
+        for unit, soc in zip(bank, initial_socs, strict=True):
             unit.kibam.set_soc(soc)
     switchnet = SwitchNetwork([u.name for u in bank], events)
     telemetry = BatteryTelemetry(bank, streams=streams)

@@ -17,7 +17,8 @@ scalar ones, and vice versa.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 from repro.sim.fleet import FleetUnsupported, require_numpy
 from repro.sim.fleet.kernel import SiteSpec, simulate_fleet
@@ -204,7 +205,7 @@ def run_cells_fleet(
 
     if pending:
         summaries = simulate_fleet(specs)
-        for index, key, summary in zip(pending, keys, summaries):
+        for index, key, summary in zip(pending, keys, summaries, strict=True):
             run = RunSummary(**summary)
             if key is not None:
                 cache.put(key, summary_to_payload(run))

@@ -89,7 +89,7 @@ def run_fig14a_prioritisation(seed: int = 2) -> Fig14aResult:
         )
         if picked_by_spm and event.source not in order:
             order.append(event.source)
-    socs = {u.name: s for u, s in zip(system.bank, initial)}
+    socs = {u.name: s for u, s in zip(system.bank, initial, strict=True)}
     return Fig14aResult(system=system, charge_order=order, initial_socs=socs)
 
 

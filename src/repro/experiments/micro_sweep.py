@@ -162,7 +162,7 @@ def run_micro_sweep(
 def sweep_averages(comparisons: list[MicroComparison]) -> dict[str, dict[str, float]]:
     """The figures' "avg." bars, per solar level."""
     averages: dict[str, dict[str, float]] = {}
-    for level in {c.solar_level for c in comparisons}:
+    for level in dict.fromkeys(c.solar_level for c in comparisons):
         subset = [c for c in comparisons if c.solar_level == level]
         averages[level] = {
             "availability": sum(c.availability_improvement for c in subset) / len(subset),

@@ -139,6 +139,6 @@ def diminishing_returns(points: list[ProvisioningPoint]) -> list[float]:
     if len(points) < 2:
         raise ValueError("need at least two points")
     gains = []
-    for previous, current in zip(points, points[1:]):
+    for previous, current in zip(points, points[1:], strict=False):
         gains.append(current.processed_gb - previous.processed_gb)
     return gains

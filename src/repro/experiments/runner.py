@@ -22,7 +22,8 @@ import os
 import pickle
 import time
 import warnings
-from typing import Any, Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 from repro.obs.ledger import SIGNED_EDGES
 from repro.obs.registry import global_registry

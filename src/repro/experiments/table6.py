@@ -107,7 +107,7 @@ def run_table6(
                           backend=backend)
     return [
         Table6Cell(day=day, scheme=scheme, summary=summary)
-        for (day, scheme), summary in zip(labels, summaries)
+        for (day, scheme), summary in zip(labels, summaries, strict=True)
     ]
 
 

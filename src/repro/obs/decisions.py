@@ -19,7 +19,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 #: Decision kinds emitted by the stock controllers (the event schema's
 #: ``kind`` vocabulary; see docs/observability.md for payload fields).

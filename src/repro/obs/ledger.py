@@ -34,9 +34,14 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.validate.invariants import ACC_TOL_FLOOR_WH, ACC_TOL_WH_PER_H
+
+if TYPE_CHECKING:  # annotations only; a runtime import would be cyclic
+    from repro.core.system import InSituSystem
+    from repro.obs.registry import MetricsRegistry
+    from repro.power.bus import PowerBus
 
 #: Flow-edge names in rendering order (docs/observability.md catalogues
 #: each edge's source, sink and measurement point).
@@ -110,17 +115,17 @@ class EnergyLedger:
         gauge (zero per-tick cost) alongside the closure residuals.
     """
 
-    def __init__(self, registry=None) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._registry = registry
-        self._system = None
-        self._bus = None
+        self._system: InSituSystem | None = None
+        self._bus: PowerBus | None = None
         self._base: dict[str, float] = {}
         self._attach_t = 0.0
 
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
-    def attach(self, system) -> "EnergyLedger":
+    def attach(self, system: InSituSystem) -> "EnergyLedger":
         """Snapshot the component accumulators of ``system``; returns self."""
         self._system = system
         self._bus = system.plant.bus
@@ -171,8 +176,8 @@ class EnergyLedger:
             "demand_bus": bus.e_demand_bus_wh,
             "server_wall": bus.e_server_wall_wh,
             "mppt_loss": getattr(system.source, "e_mppt_loss_wh", 0.0),
-            "gassing": sum(u.gassing_ah * v for u, v in zip(bank, nominal_v)),
-            "self_discharge": sum(u.self_discharge_ah * v for u, v in zip(bank, nominal_v)),
+            "gassing": sum(u.gassing_ah * v for u, v in zip(bank, nominal_v, strict=True)),
+            "self_discharge": sum(u.self_discharge_ah * v for u, v in zip(bank, nominal_v, strict=True)),
             "stored": bank.stored_energy_wh,
             "load": collector.load_energy_wh,
             "effective": collector.effective_energy_wh,

@@ -26,7 +26,8 @@ import json
 import math
 import re
 from bisect import bisect_left
-from typing import Any, Callable, Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
 
 #: Default histogram buckets for wall-clock durations in seconds; spans
 #: tick times from microseconds to a full second of stall.
@@ -217,7 +218,7 @@ class Histogram(Metric):
         rank = q * self.count
         cumulative = 0
         lower = min(self._min, self.bounds[0])
-        for bound, bucket_count in zip(self.bounds, self._counts):
+        for bound, bucket_count in zip(self.bounds, self._counts, strict=False):
             if cumulative + bucket_count >= rank and bucket_count > 0:
                 fraction = (rank - cumulative) / bucket_count
                 return lower + fraction * (bound - lower)
@@ -229,7 +230,7 @@ class Histogram(Metric):
         """(upper_bound, cumulative_count) pairs, ending with +Inf."""
         pairs: list[tuple[float, int]] = []
         running = 0
-        for bound, bucket_count in zip(self.bounds, self._counts):
+        for bound, bucket_count in zip(self.bounds, self._counts, strict=False):
             running += bucket_count
             pairs.append((bound, running))
         pairs.append((math.inf, self.count))

@@ -22,7 +22,8 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 #: Default 1-in-N tick sampling stride.
 DEFAULT_STRIDE = 16

@@ -26,6 +26,11 @@ is what keeps the 12 golden cells bit-exact).
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # annotations only; keeps policy importable standalone
+    from repro.battery.charger import SolarCharger
+    from repro.core.controller_base import PowerManager
 
 #: Hardware duty quantum: racks actuate DVFS in tenths, and the fleet
 #: kernel stores duty as a deci int — caps snap *down* to this grid.
@@ -81,14 +86,15 @@ class ControlMethod:
     name = "control"
 
     def __init__(self) -> None:
-        self._manager = None
-        self._charger = None
+        self._manager: PowerManager | None = None
+        self._charger: SolarCharger | None = None
         #: Decision-event source label; the owning Policy overwrites this
         #: with its own name so events attribute to the policy, not the
         #: mechanism.
         self.source = type(self).__name__
 
-    def bind(self, manager, charger=None) -> None:
+    def bind(self, manager: PowerManager,
+             charger: SolarCharger | None = None) -> None:
         self._manager = manager
         self._charger = charger
 

@@ -27,7 +27,7 @@ scenario definition can carry its policy as one readable token.
 from __future__ import annotations
 
 import math
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 
 def parse_limit_value(token: str) -> float:

@@ -17,9 +17,15 @@ leaves the 12 golden cells bit-identical.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.policy.controls import ControlMethod
 from repro.policy.governors import Governor
 from repro.policy.signals import SignalProvider
+
+if TYPE_CHECKING:  # annotations only; keeps policy importable standalone
+    from repro.battery.charger import SolarCharger
+    from repro.core.controller_base import PowerManager
 
 
 class Policy:
@@ -42,11 +48,12 @@ class Policy:
         self.interval_s = float(interval_s)
         self._elapsed = float("inf")
         self._last_limit: float | None = None
-        self._manager = None
+        self._manager: PowerManager | None = None
         #: Evaluations performed (observability; not control state).
         self.evaluations = 0
 
-    def bind(self, manager, charger=None) -> None:
+    def bind(self, manager: PowerManager,
+             charger: SolarCharger | None = None) -> None:
         """Wire plant references into the signal and control halves."""
         self._manager = manager
         self.signal.bind(manager, charger)

@@ -10,7 +10,7 @@ example.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.policy import governors as _governors
 from repro.policy.controls import (

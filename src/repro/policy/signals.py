@@ -23,7 +23,12 @@ from __future__ import annotations
 
 import hashlib
 import math
-from typing import Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # annotations only; keeps policy importable standalone
+    from repro.battery.charger import SolarCharger
+    from repro.core.controller_base import PowerManager
 
 TWO_PI = 2.0 * math.pi
 HOUR_S = 3600.0
@@ -81,7 +86,8 @@ class SignalProvider:
                 return label
         return self.zones[-1][0]
 
-    def bind(self, manager, charger=None) -> None:
+    def bind(self, manager: PowerManager,
+             charger: SolarCharger | None = None) -> None:
         """Attach plant references; synthetic providers need none."""
         return None
 
@@ -191,9 +197,10 @@ class BatterySocSignal(SignalProvider):
             zones=(("critical", 0.25), ("low", 0.45),
                    ("nominal", 0.75), ("full", math.inf)),
         )
-        self._manager = None
+        self._manager: PowerManager | None = None
 
-    def bind(self, manager, charger=None) -> None:
+    def bind(self, manager: PowerManager,
+             charger: SolarCharger | None = None) -> None:
         self._manager = manager
 
     def value(self, t: float) -> float:
@@ -217,9 +224,10 @@ class SolarForecastSignal(SignalProvider):
             zones=(("dark", 50.0), ("dim", 300.0),
                    ("bright", 700.0), ("peak", math.inf)),
         )
-        self._manager = None
+        self._manager: PowerManager | None = None
 
-    def bind(self, manager, charger=None) -> None:
+    def bind(self, manager: PowerManager,
+             charger: SolarCharger | None = None) -> None:
         self._manager = manager
 
     def value(self, t: float) -> float:

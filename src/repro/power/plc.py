@@ -8,7 +8,7 @@ coordination node reads those registers over the Modbus layer.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.power.modbus import ModbusError, ModbusSlave, encode_fixed
 from repro.power.sensors import Transducer

@@ -17,7 +17,8 @@ import http.client
 import json
 import time
 from dataclasses import dataclass
-from typing import Any, Iterator, Mapping
+from collections.abc import Iterator, Mapping
+from typing import Any
 
 from repro.serve.sse import SSEParser
 
@@ -64,7 +65,7 @@ class ServeClient:
             body = None
             headers = {}
             if payload is not None:
-                body = json.dumps(payload).encode("utf-8")
+                body = json.dumps(payload).encode()
                 headers["Content-Type"] = "application/json"
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()

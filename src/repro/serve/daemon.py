@@ -32,7 +32,8 @@ import argparse
 import asyncio
 import json
 import sys
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.serve.manager import CapacityError, SessionManager
@@ -74,13 +75,13 @@ def _response(status: int, body: bytes, content_type: str) -> bytes:
 
 
 def _json_response(status: int, payload: Any) -> bytes:
-    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
     return _response(status, body, "application/json")
 
 
 def _text_response(status: int, text: str,
                    content_type: str = "text/plain; version=0.0.4") -> bytes:
-    return _response(status, text.encode("utf-8"), content_type)
+    return _response(status, text.encode(), content_type)
 
 
 class ServeDaemon:

@@ -16,7 +16,7 @@ slices stepped) live in a private
 from __future__ import annotations
 
 import asyncio
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.obs.registry import MetricsRegistry
 from repro.serve.manifest import SessionManifest

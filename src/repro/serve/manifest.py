@@ -33,7 +33,8 @@ tested in ``tests/serve/test_manifest.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.validate.golden import (
     BASE_SEED,

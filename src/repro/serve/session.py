@@ -37,7 +37,8 @@ verdict (its trajectory is intentionally off the pinned rails).
 from __future__ import annotations
 
 import json
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.obs.stream import StreamTap
 from repro.serve.manifest import (

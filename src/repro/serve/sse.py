@@ -22,7 +22,7 @@ payload; lines starting with ``:`` are comments (used as heartbeats).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 
 def encode_event(
@@ -43,12 +43,12 @@ def encode_event(
     # dispatches on the client; embedded newlines become repeated lines.
     for part in (data.split("\n") if data else [""]):
         lines.append(f"data: {part}")
-    return ("\n".join(lines) + "\n\n").encode("utf-8")
+    return ("\n".join(lines) + "\n\n").encode()
 
 
 def encode_comment(text: str = "") -> bytes:
     """A comment line (client-ignored; serves as a keep-alive)."""
-    return f": {text}\n\n".encode("utf-8")
+    return f": {text}\n\n".encode()
 
 
 @dataclass(frozen=True)

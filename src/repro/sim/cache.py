@@ -32,7 +32,8 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 ENV_VAR = "REPRO_CACHE_DIR"
 _DISABLED_VALUES = {"off", "0", "none", "disabled"}

@@ -20,7 +20,7 @@ sequence of component steps and produce bit-identical traces.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.sim.clock import Clock
 from repro.sim.component import Component

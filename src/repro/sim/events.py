@@ -9,7 +9,8 @@ channels.  Table 6 of the paper ("Power Ctrl. Times", "On/Off Cycles",
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 
 @dataclass(frozen=True)

@@ -24,7 +24,7 @@ axis N always stays vectorized.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 try:
     import numpy as np
@@ -165,7 +165,7 @@ def simulate_fleet(specs: Sequence[SiteSpec]) -> list[dict]:
     out: list[dict | None] = [None] * len(specs)
     for indices in groups.values():
         batch = _FleetBatch([specs[i] for i in indices])
-        for where, summary in zip(indices, batch.run()):
+        for where, summary in zip(indices, batch.run(), strict=True):
             out[where] = summary
     return out  # type: ignore[return-value]
 

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.sim.fleet.kernel import SiteSpec, simulate_fleet
 from repro.validate.golden import (
@@ -206,7 +207,7 @@ class FleetValidator:
         ]
         summaries = simulate_fleet(specs)
         verdicts: list[CellVerdict] = []
-        for (c, w, x, sc), summary in zip(todo, summaries):
+        for (c, w, x, sc), summary in zip(todo, summaries, strict=True):
             name = scenario_cell_name(sc) if sc else cell_name(c, w, x)
             record = load_record(name, self.golden_dir)
             verdicts.append(

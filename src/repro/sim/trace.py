@@ -17,7 +17,7 @@ pure waste.
 from __future__ import annotations
 
 from array import array
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 import numpy as np
 

@@ -25,7 +25,7 @@ def export_recorder_csv(recorder: TraceRecorder, path: str | Path) -> Path:
     path = Path(path)
     data = recorder.as_dict()
     names = ["t"] + [n for n in data if n != "t"]
-    rows = zip(*(data[name] for name in names))
+    rows = zip(*(data[name] for name in names), strict=True)
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(names)

@@ -7,7 +7,7 @@ terminal, the way the examples and CLI present a day of operation.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -93,7 +93,7 @@ def histogram(
     counts, edges = np.histogram(array, bins=bins)
     peak = counts.max() or 1
     lines = []
-    for count, lo_edge, hi_edge in zip(counts, edges[:-1], edges[1:]):
+    for count, lo_edge, hi_edge in zip(counts, edges[:-1], edges[1:], strict=False):
         bar = "#" * max(0, round(count / peak * width))
         lines.append(f"[{lo_edge:9.2f}, {hi_edge:9.2f}) | {bar} {count}")
     return "\n".join(lines)

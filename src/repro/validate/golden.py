@@ -30,7 +30,8 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.core.system import build_system
 from repro.experiments.runner import derive_seed, run_cells

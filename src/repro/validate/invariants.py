@@ -240,7 +240,8 @@ class InvariantChecker:
             wear = unit.wear
             now = (wear.discharge_ah, wear.charge_ah, wear.weighted_ah)
             for label, before, after in zip(
-                ("discharge_ah", "charge_ah", "weighted_ah"), marks, now
+                ("discharge_ah", "charge_ah", "weighted_ah"), marks, now,
+                strict=True,
             ):
                 if after < before - 1e-12:
                     self._record(tick, t, "wear_monotone",

@@ -71,7 +71,7 @@ class StagedSeismicAnalysis(SeismicAnalysis):
         """The stage a job at ``done_gb`` of ``size_gb`` is executing."""
         if done_gb < 0 or size_gb <= 0:
             raise ValueError("need done_gb >= 0 and size_gb > 0")
-        for stage, boundary in zip(self.stages, self.stage_boundaries_gb(size_gb)):
+        for stage, boundary in zip(self.stages, self.stage_boundaries_gb(size_gb), strict=True):
             if done_gb < boundary:
                 return stage
         return self.stages[-1]

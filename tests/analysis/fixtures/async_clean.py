@@ -1,0 +1,12 @@
+"""Fixture: coroutine with correct async idioms."""
+
+import asyncio
+
+
+async def handler(path, loop):
+    await asyncio.sleep(0.5)
+
+    def read_blocking():
+        return path.read_text()
+
+    return await loop.run_in_executor(None, read_blocking)

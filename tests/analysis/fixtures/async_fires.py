@@ -1,0 +1,12 @@
+"""Fixture: blocking calls inside coroutines (4 findings)."""
+
+import subprocess
+import time
+
+
+async def handler(path):
+    time.sleep(0.5)
+    subprocess.run(["true"], check=False)
+    with open(path) as fh:
+        payload = fh.read()
+    return payload + path.read_text()

@@ -1,0 +1,9 @@
+"""Fixture: kernel code the determinism rule accepts."""
+
+import numpy as np
+
+
+def tick(levels, seed):
+    rng = np.random.default_rng(seed)
+    for level in sorted(set(levels)):
+        _ = (rng, level)

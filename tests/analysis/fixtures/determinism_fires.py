@@ -1,0 +1,14 @@
+"""Fixture: kernel code that violates the determinism rule (4 findings)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def tick(levels):
+    started = time.time()
+    jitter = random.random()
+    rng = np.random.default_rng()
+    for level in {lvl for lvl in levels}:
+        _ = (started, jitter, rng, level)

@@ -1,0 +1,10 @@
+"""Fixture: the vectorized twin of ``parity_scalar`` (mirrors level only)."""
+
+
+class TankBatch:
+    def __init__(self, n, np):
+        self.level = np.zeros(n)
+        self.cap = np.ones(n)
+
+    def step(self, inflow, np):
+        self.level = np.minimum(self.cap, self.level + inflow)

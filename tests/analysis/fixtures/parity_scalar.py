@@ -1,0 +1,21 @@
+"""Fixture: a miniature scalar kernel for the parity rule.
+
+``Tank.level_wh`` is mapped and mirrored, ``Tank.overflow_wh`` is
+mutated but unmapped (the rule must flag it), and wiring methods are
+exempt.
+"""
+
+
+class Tank:
+    def __init__(self, capacity_wh):
+        self.capacity_wh = capacity_wh
+        self.level_wh = 0.0
+        self.overflow_wh = 0.0
+        self.sink = None
+
+    def bind(self, sink):
+        self.sink = sink
+
+    def step(self, inflow_wh):
+        self.level_wh = min(self.capacity_wh, self.level_wh + inflow_wh)
+        self.overflow_wh += max(0.0, inflow_wh - self.capacity_wh)

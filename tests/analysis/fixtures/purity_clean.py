@@ -1,0 +1,15 @@
+"""Fixture: a well-behaved observer (reads plant, mutates only itself)."""
+
+
+class PoliteRecorder:
+    def __init__(self):
+        self.rows = []
+        self._peak_w = 0.0
+
+    def attach(self, system):
+        system.engine.observe(self, name="polite")
+
+    def __call__(self, clock):
+        demand_w = clock.plant.bus.last_report.demand_w
+        self._peak_w = max(self._peak_w, demand_w)
+        self.rows.append((clock.t, demand_w))

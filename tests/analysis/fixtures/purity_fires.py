@@ -1,0 +1,18 @@
+"""Fixture: an engine observer that mutates the plant (3 findings)."""
+
+
+class MeddlingRecorder:
+    def __init__(self):
+        self.rows = []
+
+    def attach(self, system):
+        system.engine.observe(self, name="meddler")
+
+    def __call__(self, clock):
+        self.rows.append(clock.t)
+        clock.engine.plant.duty = 5
+        clock.engine.reset()
+        self._nudge(clock)
+
+    def _nudge(self, clock):
+        clock.plant.rack.set_duty(3, clock.t)

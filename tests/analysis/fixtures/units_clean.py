@@ -1,0 +1,8 @@
+"""Fixture: unit-correct arithmetic the unit rule accepts."""
+
+
+def budget(load_wh, capacity_ah, power_w, hours_h, voltage_v):
+    stored_wh = load_wh + power_w * hours_h
+    drawn_ah = capacity_ah - stored_wh / voltage_v
+    floor_wh = min(load_wh, stored_wh)
+    return stored_wh, drawn_ah, floor_wh

@@ -1,0 +1,11 @@
+"""Fixture: unit-suffix violations (5 findings)."""
+
+
+def budget(load_wh, capacity_ah, power_w):
+    total = load_wh + capacity_ah
+    if load_wh > power_w:
+        total += 1.0
+    capacity_ah += power_w
+    stored_wh = capacity_ah
+    floor = min(load_wh, capacity_ah)
+    return total, stored_wh, floor

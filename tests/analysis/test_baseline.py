@@ -1,0 +1,81 @@
+"""Baseline round-trip, count-aware filtering, and version gating."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    filter_findings,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import Finding
+
+
+def _finding(message="boom", line=10):
+    return Finding(rule="determinism", path="repro/sim/x.py",
+                   line=line, col=1, message=message)
+
+
+class TestRoundTrip:
+    def test_write_then_load_filters_everything(self, tmp_path):
+        findings = [_finding("a"), _finding("b")]
+        path = write_baseline(findings, tmp_path / "base.json")
+        baseline = load_baseline(path)
+        assert len(baseline) == 2
+        fresh, matched = filter_findings(findings, baseline)
+        assert fresh == []
+        assert matched == 2
+
+    def test_file_is_sorted_versioned_json(self, tmp_path):
+        path = write_baseline([_finding()], tmp_path / "base.json")
+        payload = json.loads(path.read_text())
+        assert payload["version"] == BASELINE_VERSION
+        entry = next(iter(payload["entries"].values()))
+        assert entry == {
+            "rule": "determinism",
+            "path": "repro/sim/x.py",
+            "message": "boom",
+            "count": 1,
+        }
+
+
+class TestCountAwareness:
+    def test_extra_occurrence_escapes_baseline(self, tmp_path):
+        path = write_baseline([_finding(line=10)], tmp_path / "base.json")
+        baseline = load_baseline(path)
+        now = [_finding(line=10), _finding(line=20)]
+        fresh, matched = filter_findings(now, baseline)
+        assert matched == 1
+        assert [f.line for f in fresh] == [20]
+
+    def test_duplicates_accumulate_counts(self, tmp_path):
+        path = write_baseline(
+            [_finding(line=10), _finding(line=20)], tmp_path / "base.json"
+        )
+        payload = json.loads(path.read_text())
+        assert sum(e["count"] for e in payload["entries"].values()) == 2
+        fresh, matched = filter_findings(
+            [_finding(line=1), _finding(line=2)], load_baseline(path)
+        )
+        assert fresh == [] and matched == 2
+
+
+class TestLoading:
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = load_baseline(tmp_path / "nope.json")
+        assert len(baseline) == 0
+
+    def test_version_mismatch_raises(self, tmp_path):
+        bad = tmp_path / "base.json"
+        bad.write_text(json.dumps({"version": 999, "entries": {}}))
+        with pytest.raises(ValueError, match="unsupported baseline version"):
+            load_baseline(bad)
+
+    def test_malformed_entries_raise(self, tmp_path):
+        bad = tmp_path / "base.json"
+        bad.write_text(json.dumps({"version": BASELINE_VERSION,
+                                   "entries": []}))
+        with pytest.raises(ValueError, match="entries must be an object"):
+            load_baseline(bad)

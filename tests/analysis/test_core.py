@@ -1,0 +1,130 @@
+"""Shared-model tests: suppression parsing, import resolution, findings."""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.core import (
+    Finding,
+    ImportMap,
+    ModuleSource,
+    parse_allows,
+)
+
+
+class TestParseAllows:
+    def test_inline_allow(self):
+        allows = parse_allows(
+            "x = 1\n"
+            "y = foo()  # repro: allow[determinism] seeded upstream\n"
+        )
+        assert list(allows) == [2]
+        allow = allows[2]
+        assert allow.rules == ("determinism",)
+        assert allow.reason == "seeded upstream"
+        assert not allow.standalone
+
+    def test_standalone_allow(self):
+        allows = parse_allows(
+            "# repro: allow[unit-discipline] converted two lines up\n"
+            "total_wh = total_ah\n"
+        )
+        assert allows[1].standalone
+
+    def test_multiple_rules_and_wildcard(self):
+        allows = parse_allows(
+            "z = 1  # repro: allow[determinism, async-hygiene] legacy\n"
+            "w = 2  # repro: allow[*] vendored\n"
+        )
+        assert allows[1].rules == ("determinism", "async-hygiene")
+        assert allows[1].covers("determinism")
+        assert allows[1].covers("async-hygiene")
+        assert not allows[1].covers("unit-discipline")
+        assert allows[2].covers("anything")
+
+    def test_missing_reason_is_empty(self):
+        allows = parse_allows("q = 1  # repro: allow[determinism]\n")
+        assert allows[1].reason == ""
+
+    def test_docstring_examples_are_not_allows(self):
+        text = (
+            '"""Docs show `# repro: allow[determinism] why` here."""\n'
+            "x = 1\n"
+        )
+        assert parse_allows(text) == {}
+
+    def test_unparseable_text_yields_no_allows(self):
+        assert parse_allows("'unterminated\n") == {}
+
+
+class TestImportMap:
+    def _map(self, code):
+        return ImportMap(ast.parse(code))
+
+    def _resolve(self, code, expr):
+        return self._map(code).resolve_call(ast.parse(expr, mode="eval").body)
+
+    def test_aliased_module(self):
+        assert (
+            self._resolve("import numpy as np", "np.random.rand")
+            == "numpy.random.rand"
+        )
+
+    def test_plain_import_uses_root(self):
+        assert self._resolve("import time", "time.monotonic") == "time.monotonic"
+
+    def test_from_import(self):
+        assert (
+            self._resolve("from random import randint", "randint")
+            == "random.randint"
+        )
+
+    def test_unknown_root_is_none(self):
+        assert self._resolve("import time", "mystery.call") is None
+
+
+class TestFinding:
+    def _finding(self, **kw):
+        base = dict(rule="determinism", path="repro/sim/engine.py",
+                    line=10, col=3, message="boom")
+        base.update(kw)
+        return Finding(**base)
+
+    def test_fingerprint_ignores_position(self):
+        assert (
+            self._finding(line=10, col=3).fingerprint()
+            == self._finding(line=99, col=1).fingerprint()
+        )
+
+    def test_fingerprint_depends_on_rule_path_message(self):
+        base = self._finding().fingerprint()
+        assert self._finding(rule="unit-discipline").fingerprint() != base
+        assert self._finding(path="other.py").fingerprint() != base
+        assert self._finding(message="other").fingerprint() != base
+
+    def test_render(self):
+        assert (
+            self._finding().render()
+            == "repro/sim/engine.py:10:3: [determinism] boom"
+        )
+
+    def test_as_dict_includes_fingerprint(self):
+        payload = self._finding().as_dict()
+        assert payload["fingerprint"] == self._finding().fingerprint()
+        assert set(payload) == {
+            "rule", "path", "line", "col", "message", "fingerprint"
+        }
+
+
+class TestModuleSource:
+    def test_in_package(self):
+        mod = ModuleSource(Path("x.py"), "repro.sim.engine", "")
+        assert mod.in_package("repro.sim")
+        assert mod.in_package("repro.sim.engine")
+        assert not mod.in_package("repro.simulate")
+        assert not mod.in_package("repro.serve")
+
+    def test_finding_uses_one_based_column(self):
+        mod = ModuleSource(Path("x.py"), "m", "x = 1\n")
+        node = mod.tree.body[0]
+        finding = mod.finding("determinism", node, "msg")
+        assert (finding.line, finding.col) == (1, 1)

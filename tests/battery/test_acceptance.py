@@ -29,7 +29,7 @@ class TestCeiling:
 
     def test_monotonically_nonincreasing(self, acceptance):
         values = [acceptance.max_current(s / 20.0) for s in range(21)]
-        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:], strict=False))
 
 
 class TestEffectiveCurrent:

@@ -26,7 +26,7 @@ def test_charger_step_invariants(socs, budget, dt):
     assert result.accepted_ah >= 0.0
     assert 0.0 <= result.utilisation <= 1.0 + 1e-9
 
-    for unit, before in zip(units, charges_before):
+    for unit, before in zip(units, charges_before, strict=True):
         # Charging never discharges a unit (beyond self-discharge noise)
         # and never overfills it.
         assert unit.kibam.charge_ah >= before - 0.01

@@ -56,7 +56,7 @@ def test_vm_ctrl_ops_count_only_changes(targets):
     rack = ServerRack(server_count=4)
     allocator = NodeAllocator(rack)
     distinct_changes = sum(
-        1 for previous, current in zip([0] + targets, targets)
+        1 for previous, current in zip([0] + targets, targets, strict=False)
         if previous != current
     )
     for target in targets:

@@ -115,7 +115,7 @@ class TestFigure24:
         assert "cloud" in curves
         assert "insitu-100%" in curves
         # Lower sunshine fraction never cheaper.
-        for a, b in zip(curves["insitu-100%"], curves["insitu-40%"]):
+        for a, b in zip(curves["insitu-100%"], curves["insitu-40%"], strict=True):
             assert b >= a
 
 

@@ -217,6 +217,6 @@ class TestIntegration:
         assert sum(counts.values()) == len(obs.alerts)
         joined = obs.decisions.of_kind("alert")
         assert len(joined) == len(obs.alerts)
-        for decision, alert in zip(joined, obs.alerts.alerts):
+        for decision, alert in zip(joined, obs.alerts.alerts, strict=True):
             assert decision.kind == f"alert.{alert.rule}"
             assert decision.t == alert.t

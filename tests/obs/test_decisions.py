@@ -49,7 +49,7 @@ def test_jsonl_round_trip(tmp_path):
     assert len(loaded) == 2
     original = list(log)
     reloaded = list(loaded)
-    for a, b in zip(original, reloaded):
+    for a, b in zip(original, reloaded, strict=True):
         assert (a.t, a.kind, a.source, a.data) == (b.t, b.kind, b.source, b.data)
 
 

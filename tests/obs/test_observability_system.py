@@ -71,7 +71,7 @@ def test_decision_log_matches_mode_transitions():
     system, _ = _run("insure", SeismicAnalysis, obs=obs)
     recorded = obs.decisions.of_kind("buffer.mode")
     assert len(recorded) == len(system.controller.mode_transitions)
-    for decision, change in zip(recorded, system.controller.mode_transitions):
+    for decision, change in zip(recorded, system.controller.mode_transitions, strict=True):
         assert decision.source == change.battery
         assert decision.data["from_mode"] == change.from_mode.value
         assert decision.data["to_mode"] == change.to_mode.value

@@ -100,7 +100,7 @@ def test_policy_records_limit_event_only_on_change():
     gov = parse_governor("step:420=80%:560=60%")
     seq = [gov.limit(sig.value(300.0 * i))
            for i in range(policy.evaluations)]
-    changes = sum(1 for prev, cur in zip([None, *seq], seq) if cur != prev)
+    changes = sum(1 for prev, cur in zip([None, *seq], seq, strict=False) if cur != prev)
     assert len(events) == changes
     conformance.assert_hardware_bounds(system)
 

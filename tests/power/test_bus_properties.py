@@ -18,7 +18,7 @@ MODES = (
 
 def build_bus(socs, modes):
     bank = BatteryBank.build(count=len(socs), soc=1.0)
-    for unit, soc, mode in zip(bank, socs, modes):
+    for unit, soc, mode in zip(bank, socs, modes, strict=True):
         unit.kibam.set_soc(soc)
         unit.set_mode(mode)
     return bank, PowerBus(bank)

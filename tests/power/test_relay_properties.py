@@ -136,11 +136,11 @@ def test_healthy_requests_converge_after_break_before_make(finals, churn):
     for cabinet, bus, _ in churn:
         program.request(plc, NAMES[cabinet], bus)
         scan(program, plc, clock)
-    for name, bus in zip(NAMES, finals):
+    for name, bus in zip(NAMES, finals, strict=True):
         program.request(plc, name, bus)
     for _ in range(2):
         scan(program, plc, clock)
     state_to_bus = {"charging": "charge", "load": "load", "offline": "offline"}
-    for name, bus in zip(NAMES, finals):
+    for name, bus in zip(NAMES, finals, strict=True):
         assert state_to_bus[switchnet.state_of(name)] == bus
         assert_never_bridged(switchnet)
